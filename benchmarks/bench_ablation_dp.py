@@ -1,0 +1,13 @@
+"""Ablation (DESIGN.md): DP plan quality vs exhaustive enumeration."""
+
+from repro.bench import ablation_dp_quality, save_report
+
+
+def test_ablation_dp_matches_enum_quality(benchmark, ctx):
+    rows = benchmark.pedantic(ablation_dp_quality, args=(ctx,), rounds=1,
+                              iterations=1)
+    save_report("ablation_dp_quality", rows,
+                title="Ablation — DP vs exhaustive enumeration")
+    for row in rows:
+        # DP's plan is within 5% of the exhaustive optimum.
+        assert row["dp_cost"] <= 1.05 * row["enum_cost"], row["algorithm"]

@@ -1,0 +1,15 @@
+"""Section 2-3 quantitative claims: plan-space sizes and option counts."""
+
+from repro.bench import claims_counts, save_report
+
+
+def test_claims_search_space_counts(benchmark, ctx):
+    rows = benchmark.pedantic(claims_counts, args=(ctx,), rounds=1, iterations=1)
+    save_report("claims_counts", rows,
+                title="Search-space and option counts (paper vs measured)")
+    by = {r["claim"]: r for r in rows}
+    assert by["10-chain plans, no transposes (Catalan)"]["measured"] == 4862
+    assert by["10-chain plans with transpositions (>2M)"]["measured"] > 2_000_000
+    assert by["dfp: elimination options found"]["measured"] >= 6
+    assert by["dfp: contradictory option pairs"]["measured"] >= 1
+    assert by["dfp: plan trees (tree-wise space)"]["measured"] > 100_000

@@ -1,0 +1,37 @@
+"""Figure 10: DP vs brute-force Enum under MD vs MNC estimators (§6.3.2-3).
+
+Expected shape: (a) DP compiles faster than Enum, and MD faster than MNC
+(no statistics collection); (b) in elapsed time DP-MNC is the best overall
+choice — MNC's accuracy buys better plans than MD's speed saves.
+"""
+
+from repro.bench import fig10_dp_vs_enum, save_report
+
+
+def test_fig10_dp_vs_enum(benchmark, ctx):
+    rows = benchmark.pedantic(fig10_dp_vs_enum, args=(ctx,), rounds=1,
+                              iterations=1)
+    save_report("fig10_dp_vs_enum", rows,
+                title="Figure 10 — compilation and elapsed time by method")
+    by = {(r["algorithm"], r["dataset"], r["method"]): r for r in rows}
+    for dataset in ("cri1", "cri2"):
+        # (a) Enumeration pays a combinatorial compilation premium on DFP.
+        assert by[("dfp", dataset, "Enum-MNC")]["compile_seconds"] > \
+            by[("dfp", dataset, "DP-MNC")]["compile_seconds"]
+        # (a) The metadata estimator compiles faster than MNC where the
+        # estimator dominates (full-plan enumeration sketches constantly);
+        # allow wall-clock jitter headroom.
+        assert by[("dfp", dataset, "Enum-MD")]["compile_seconds"] < \
+            by[("dfp", dataset, "Enum-MNC")]["compile_seconds"]
+        assert by[("dfp", dataset, "DP-MD")]["compile_seconds"] < \
+            1.5 * by[("dfp", dataset, "DP-MNC")]["compile_seconds"]
+    # (b) DP-MNC's plans are never much worse than DP-MD's.
+    for algo in ("dfp", "bfgs", "gd"):
+        for dataset in ("cri1", "cri2"):
+            assert by[(algo, dataset, "DP-MNC")]["execution_seconds"] <= \
+                1.25 * by[(algo, dataset, "DP-MD")]["execution_seconds"]
+    # (b) On the heavy-tailed dataset the metadata estimator's gram-matrix
+    # misjudgment makes DP-MD pick a measurably worse plan (§6.3.2's
+    # "DP-MD generates suboptimal execution plans").
+    assert by[("dfp", "zipf-tail", "DP-MNC")]["execution_seconds"] < \
+        0.9 * by[("dfp", "zipf-tail", "DP-MD")]["execution_seconds"]

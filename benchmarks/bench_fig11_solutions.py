@@ -1,0 +1,26 @@
+"""Figure 11: ReMac vs SystemDS vs pbdR vs SciDB on dense data (§6.4).
+
+Expected shape: SystemDS beats the always-distributed engines (paper: 2.8x)
+thanks to hybrid execution; ReMac adds redundancy elimination on top
+(paper: 14.4x over SystemDS).
+"""
+
+from repro.bench import fig11_solutions, save_report, summarize_speedups
+
+
+def test_fig11_alternative_solutions(benchmark, ctx):
+    rows = benchmark.pedantic(fig11_solutions, args=(ctx,), rounds=1,
+                              iterations=1)
+    save_report("fig11_solutions", rows,
+                title="Figure 11 — elapsed time across systems (cri1, red1)")
+    speedups = summarize_speedups(rows, ("algorithm", "dataset"),
+                                  "elapsed_seconds", "systemds")
+    save_report("fig11_speedups", speedups,
+                title="Figure 11 — speedups over SystemDS")
+    by = {(r["algorithm"], r["dataset"], r["engine"]): r["elapsed_seconds"]
+          for r in rows}
+    for algo in ("dfp", "bfgs", "gd"):
+        for dataset in ("cri1", "red1"):
+            assert by[(algo, dataset, "systemds")] < by[(algo, dataset, "pbdr")]
+            assert by[(algo, dataset, "systemds")] < by[(algo, dataset, "scidb")]
+            assert by[(algo, dataset, "remac")] < by[(algo, dataset, "systemds")]

@@ -1,0 +1,29 @@
+"""Figure 12: time breakdown and skewed data (§6.5).
+
+Expected shape: transmission dominates SystemDS's total (paper: 70%); ReMac
+cuts the transmission share sharply; input partitioning is minor for both;
+and ReMac's advantage persists (or grows) as skew rises, because the MNC
+estimator senses the changing intermediate densities.
+"""
+
+from repro.bench import fig12_breakdown, save_report
+
+
+def test_fig12_time_breakdown(benchmark, ctx):
+    rows = benchmark.pedantic(fig12_breakdown, args=(ctx,), rounds=1,
+                              iterations=1)
+    save_report("fig12_breakdown", rows,
+                title="Figure 12 — DFP time breakdown (simulated seconds)")
+    by = {(r["dataset"], r["engine"]): r for r in rows}
+    systemds = by[("cri2", "systemds")]
+    remac = by[("cri2", "remac")]
+    # Transmission dominates the baseline and shrinks under ReMac.
+    assert systemds["transmission"] > 0.5 * (
+        systemds["computation"] + systemds["transmission"])
+    assert remac["transmission"] < systemds["transmission"]
+    assert remac["total"] < systemds["total"]
+    # ReMac never loses across the skew sweep.
+    for exponent in ("0.0", "0.7", "1.4", "2.1", "2.8"):
+        name = f"zipf-{exponent}"
+        assert by[(name, "remac")]["total"] <= \
+            1.05 * by[(name, "systemds")]["total"], name

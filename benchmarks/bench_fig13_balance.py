@@ -1,0 +1,19 @@
+"""Figure 13: per-worker data proportions under skew (§6.5).
+
+Expected shape: proportions stay near 1/6 for uniform-to-moderate skew;
+hash partitioning plus blocking mitigates even the zipf-2.8 extreme (the
+paper's full-scale block count keeps it at exactly 1/6; the minis have
+fewer blocks so a wider spread at the extreme is expected and reported).
+"""
+
+from repro.bench import fig13_balance, save_report
+
+
+def test_fig13_work_balance(benchmark, ctx):
+    rows = benchmark.pedantic(fig13_balance, args=(ctx,), rounds=1, iterations=1)
+    save_report("fig13_balance", rows,
+                title="Figure 13 — per-worker data proportion (6 workers)")
+    by = {r["dataset"]: r for r in rows}
+    for name in ("cri2", "zipf-0.0", "zipf-0.7", "zipf-1.4"):
+        assert by[name]["max_proportion"] < 2.5 / 6, name
+    assert by["zipf-2.8"]["max_proportion"] < 0.55

@@ -1,0 +1,27 @@
+"""Figure 3: DFP plan variants, distributed vs single-node (§2).
+
+Expected shape (distributed): no CSE/LSE > explicit > efficient, with the
+contradictory pick and the forced {AᵀA, ddᵀ} pick far above explicit — the
+paper's 11.3h bar. Single-node: all variants collapse (no transmission);
+the absolute penalty of the order-changing pick shrinks dramatically.
+"""
+
+from repro.bench import fig3_motivation, save_report
+
+
+def test_fig3_dfp_plan_variants(benchmark, ctx):
+    rows = benchmark.pedantic(fig3_motivation, args=(ctx,), rounds=1, iterations=1)
+    save_report("fig3_motivation", rows,
+                title="Figure 3 — DFP execution time by plan variant")
+    dist = {r["variant"]: r["execution_seconds"] for r in rows
+            if r["setting"] == "distributed"}
+    single = {r["variant"]: r["execution_seconds"] for r in rows
+              if r["setting"] == "single-node"}
+    # Distributed ordering of the paper's bars.
+    assert dist["efficient"] < dist["explicit"] < dist["no CSE/LSE"]
+    assert dist["ATA,ddT"] > dist["explicit"]
+    assert dist["contradictory"] > dist["explicit"]
+    # Single-node: the order-changing plan loses far less absolute time.
+    penalty_dist = dist["ATA,ddT"] - dist["efficient"]
+    penalty_single = single["ATA,ddT"] - single["efficient"]
+    assert penalty_single < 0.5 * penalty_dist

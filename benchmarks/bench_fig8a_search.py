@@ -1,0 +1,27 @@
+"""Figure 8(a): compilation time to find CSE and LSE (§6.2.1).
+
+Expected shape: block-wise adds milliseconds over SystemDS's explicit
+matching; tree-wise needs orders of magnitude more work and exceeds its
+plan budget on DFP/BFGS (the paper's ">8 hours"); SPORES is comparable to
+block-wise on partial DFP.
+"""
+
+from repro.bench import fig8a_search_compilation, save_report
+
+
+def test_fig8a_search_compilation_time(benchmark, ctx):
+    rows = benchmark.pedantic(fig8a_search_compilation, args=(ctx,),
+                              rounds=1, iterations=1)
+    save_report("fig8a_search", rows,
+                title="Figure 8(a) — search compilation time (wall seconds)")
+    by = {(r["algorithm"], r["method"]): r for r in rows}
+    assert by[("dfp", "tree-wise")]["exceeded_budget"], \
+        "tree-wise must blow its budget on DFP (the paper's >8h)"
+    for algo in ("dfp", "bfgs"):
+        assert by[(algo, "block-wise")]["seconds"] < 1.0
+        assert by[(algo, "tree-wise")]["seconds"] > \
+            10 * by[(algo, "block-wise")]["seconds"]
+    assert not by[("gd", "tree-wise")]["exceeded_budget"]
+    assert by[("partial_dfp", "spores")]["seconds"] < 1.0
+    # Block-wise finds strictly more than explicit matching on DFP.
+    assert by[("dfp", "block-wise")]["options"] > by[("dfp", "systemds")]["options"]

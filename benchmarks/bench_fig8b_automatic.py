@@ -1,0 +1,34 @@
+"""Figure 8(b): execution time under automatic (blind) elimination (§6.2.2).
+
+Expected shape: automatic elimination beats SystemDS massively on the dense
+thin datasets (paper: 36x) but can lose on the fat sparse ones (paper: up
+to 8.3x slower) — the motivation for adaptive elimination. SystemDS's
+explicit CSE *hurts* BFGS (paper: up to 11.4x over SystemDS*).
+"""
+
+from repro.bench import fig8b_automatic_execution, save_report, summarize_speedups
+
+
+def test_fig8b_automatic_execution_time(benchmark, ctx):
+    rows = benchmark.pedantic(fig8b_automatic_execution, args=(ctx,),
+                              rounds=1, iterations=1)
+    save_report("fig8b_automatic", rows,
+                title="Figure 8(b) — execution time (simulated seconds)")
+    speedups = summarize_speedups(
+        rows, ("algorithm", "dataset"), "execution_seconds", "systemds*")
+    save_report("fig8b_speedups", speedups,
+                title="Figure 8(b) — speedups over SystemDS*")
+    by = {(r["algorithm"], r["dataset"], r["engine"]): r["execution_seconds"]
+          for r in rows}
+    # Automatic elimination wins big on dense/thin data...
+    for dataset in ("cri1", "red1"):
+        assert by[("dfp", dataset, "remac-automatic")] < \
+            0.5 * by[("dfp", dataset, "systemds")]
+    # ...but blind application loses on at least one fat dataset.
+    losses = [d for d in ("cri2", "cri3", "red3")
+              if by[("dfp", d, "remac-automatic")] > by[("dfp", d, "systemds")]]
+    assert losses, "blind elimination must be detrimental somewhere (§6.2.2)"
+    # SystemDS's explicit CSE hurts BFGS (the paper's 1.9x-11.4x rows).
+    bfgs_hurt = [d for d in ("cri2", "cri3", "red2", "red3")
+                 if by[("bfgs", d, "systemds")] > 1.5 * by[("bfgs", d, "systemds*")]]
+    assert len(bfgs_hurt) >= 2

@@ -1,0 +1,35 @@
+"""Figure 9: conservative vs aggressive vs adaptive elimination (§6.3.1).
+
+Expected shape: conservative always beats SystemDS (it follows the original
+order); aggressive wins on thin datasets but collapses on fat ones;
+adaptive tracks the better of the two everywhere and beats both where a
+mixed pick exists (the paper's cri2/red2 rows).
+"""
+
+from repro.bench import fig9_strategies, save_report, summarize_speedups
+
+
+def test_fig9_strategy_comparison(benchmark, ctx):
+    rows = benchmark.pedantic(fig9_strategies, args=(ctx,), rounds=1, iterations=1)
+    save_report("fig9_strategies", rows,
+                title="Figure 9 — overall elapsed time by strategy")
+    speedups = summarize_speedups(rows, ("algorithm", "dataset"),
+                                  "elapsed_seconds", "systemds")
+    save_report("fig9_speedups", speedups,
+                title="Figure 9 — speedups over SystemDS")
+    by = {(r["algorithm"], r["dataset"], r["engine"]): r["execution_seconds"]
+          for r in rows}
+    for algo in ("dfp", "bfgs"):
+        for dataset in ("cri1", "cri2", "cri3", "red1", "red2", "red3"):
+            conservative = by[(algo, dataset, "remac-conservative")]
+            aggressive = by[(algo, dataset, "remac-aggressive")]
+            adaptive = by[(algo, dataset, "remac")]
+            # Adaptive must not lose much to the better fixed strategy
+            # (the probing DP is approximate: nested activations resolve
+            # across rounds, so a ~1/3 slack absorbs round-boundary effects).
+            assert adaptive <= 1.35 * min(conservative, aggressive), \
+                (algo, dataset)
+        # Aggressive must be detrimental on at least one fat dataset.
+        assert any(by[(algo, d, "remac-aggressive")] >
+                   1.5 * by[(algo, d, "remac-conservative")]
+                   for d in ("cri3", "red3")), algo

@@ -1,0 +1,16 @@
+"""Table 2: dataset statistics — the paper's originals vs the generated minis."""
+
+from repro.bench import save_report, table2_datasets
+
+
+def test_table2_dataset_statistics(benchmark, ctx):
+    rows = benchmark.pedantic(table2_datasets, args=(ctx,), rounds=1, iterations=1)
+    save_report("table2_datasets", rows,
+                title="Table 2 — dataset statistics (paper vs mini)")
+    assert len(rows) == 6
+    by_name = {r["dataset"]: r for r in rows}
+    # The qualitative structure Table 2 encodes must hold in the minis.
+    assert by_name["cri1"]["mini_sparsity"] > 0.4      # dense
+    assert by_name["red1"]["mini_sparsity"] > 0.4      # dense
+    assert by_name["cri2"]["mini_cols"] < by_name["cri3"]["mini_cols"]
+    assert by_name["red2"]["mini_cols"] < by_name["red3"]["mini_cols"]

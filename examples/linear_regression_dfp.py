@@ -1,0 +1,65 @@
+"""Compare every engine on the paper's linear-regression workloads.
+
+Runs GD, DFP, and BFGS on a Table-2-style dataset through ReMac, SystemDS
+(with and without explicit CSE), the strategy variants, and the
+always-distributed baselines (pbdR/SciDB-like), then prints the comparison
+table — a miniature of the paper's §6 evaluation.
+
+Run:  python examples/linear_regression_dfp.py [dataset] [iterations]
+      (dataset defaults to cri2; try cri1, cri3, red1..red3, zipf-1.4 ...)
+"""
+
+import sys
+
+import numpy as np
+
+from repro import ClusterConfig, get_algorithm, load_dataset, make_engine
+from repro.algorithms import run_reference
+from repro.bench.report import render_table
+
+ENGINES = ("systemds*", "systemds", "remac-conservative", "remac-aggressive",
+           "remac", "pbdr", "scidb")
+
+
+def main(dataset_name: str = "cri2", iterations: int = 20) -> None:
+    cluster = ClusterConfig()
+    dataset = load_dataset(dataset_name, scale=0.5)
+    print(f"Dataset {dataset.name}: {dataset.shape[0]}x{dataset.shape[1]}, "
+          f"sparsity {dataset.meta.sparsity:.4f} ({dataset.description})\n")
+
+    rows = []
+    for algo_name in ("gd", "dfp", "bfgs"):
+        algo = get_algorithm(algo_name)
+        meta, data = algo.make_inputs(dataset.matrix)
+        reference = run_reference(algo_name, data, iterations)
+        for engine_name in ENGINES:
+            engine = make_engine(engine_name, cluster)
+            result = engine.run(algo.program(iterations), meta, data,
+                                symmetric=algo.symmetric_inputs,
+                                iterations=iterations)
+            correct = all(
+                np.allclose(result.value(out), reference[out],
+                            atol=1e-4, rtol=1e-3)
+                for out in algo.outputs)
+            rows.append({
+                "algorithm": algo_name,
+                "engine": engine_name,
+                "simulated_seconds": result.execution_seconds,
+                "options_applied": (len(result.compiled.applied_options)
+                                    if result.compiled else 0),
+                "matches_numpy": correct,
+            })
+    print(render_table(rows, title=f"Engines on {dataset_name} "
+                                   f"({iterations} iterations)"))
+
+    # Highlight the headline comparison.
+    by = {(r["algorithm"], r["engine"]): r["simulated_seconds"] for r in rows}
+    for algo_name in ("gd", "dfp", "bfgs"):
+        speedup = by[(algo_name, "systemds")] / by[(algo_name, "remac")]
+        print(f"{algo_name}: ReMac is {speedup:.1f}x faster than SystemDS")
+
+
+if __name__ == "__main__":
+    name = sys.argv[1] if len(sys.argv) > 1 else "cri2"
+    iters = int(sys.argv[2]) if len(sys.argv) > 2 else 20
+    main(name, iters)

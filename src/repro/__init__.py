@@ -1,0 +1,52 @@
+"""ReMac: redundancy elimination in distributed matrix computation.
+
+A from-scratch Python reproduction of Chen et al., SIGMOD 2022. The public
+API is organized in layers:
+
+* :mod:`repro.lang` — the DML-like language front-end;
+* :mod:`repro.matrix` / :mod:`repro.cluster` / :mod:`repro.runtime` — the
+  SystemDS-like simulated distributed substrate;
+* :mod:`repro.core` — the ReMac optimizer (block-wise CSE/LSE search, cost
+  model, adaptive elimination via dynamic programming);
+* :mod:`repro.engines` — ReMac and the comparison systems;
+* :mod:`repro.algorithms` / :mod:`repro.data` — the evaluation workloads
+  and datasets;
+* :mod:`repro.bench` — drivers that regenerate every table and figure.
+
+Quickstart::
+
+    from repro import ClusterConfig, make_engine, get_algorithm, load_dataset
+
+    dataset = load_dataset("cri1", scale=0.1)
+    algo = get_algorithm("dfp")
+    meta, data = algo.make_inputs(dataset.matrix)
+    engine = make_engine("remac", ClusterConfig())
+    result = engine.run(algo.program(iterations=5), meta, data,
+                        symmetric=algo.symmetric_inputs)
+    print(result.execution_seconds, result.compiled.applied_options)
+"""
+
+from .config import ClusterConfig, OptimizerConfig
+from .algorithms import ALGORITHMS, get_algorithm
+from .core import ReMacOptimizer, blockwise_search, build_chains
+from .data import ALL_DATASET_NAMES, load_dataset
+from .engines import ENGINES, make_engine
+from .errors import ReproError
+from .lang import parse, parse_expression
+from .matrix import BlockedMatrix, MatrixMeta
+from .runtime import ExecutionPolicy, Executor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig", "OptimizerConfig",
+    "ALGORITHMS", "get_algorithm",
+    "ReMacOptimizer", "blockwise_search", "build_chains",
+    "ALL_DATASET_NAMES", "load_dataset",
+    "ENGINES", "make_engine",
+    "ReproError",
+    "parse", "parse_expression",
+    "BlockedMatrix", "MatrixMeta",
+    "ExecutionPolicy", "Executor",
+    "__version__",
+]

@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands:
+
+* ``run`` — execute a built-in workload on a named dataset through any
+  engine and print the timing/option summary::
+
+      python -m repro run --engine remac --algorithm dfp --dataset cri2
+
+* ``optimize`` — compile a user script and print the found options and the
+  rewritten program (no execution)::
+
+      python -m repro optimize my_script.dml --scalar i --scalar alpha \
+          --input "A:10000x100:0.05" --input "x:100x1" --symmetric H ...
+
+* ``datasets`` — list the available datasets with their statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .algorithms import ALGORITHMS, get_algorithm
+from .bench.report import render_table
+from .config import ClusterConfig, OptimizerConfig
+from .core import ReMacOptimizer
+from .data import ALL_DATASET_NAMES, load_dataset
+from .engines import ENGINES, make_engine
+from .lang import format_program, parse
+from .matrix import MatrixMeta
+
+
+def _parse_input_spec(spec: str) -> tuple[str, MatrixMeta]:
+    """Parse 'NAME:RxC[:sparsity]' into (name, MatrixMeta)."""
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        raise argparse.ArgumentTypeError(
+            f"input spec must be NAME:RxC[:sparsity], got {spec!r}")
+    name = parts[0]
+    try:
+        rows_text, cols_text = parts[1].lower().split("x")
+        rows, cols = int(rows_text), int(cols_text)
+        sparsity = float(parts[2]) if len(parts) == 3 else 1.0
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(f"bad input spec {spec!r}: {error}")
+    return name, MatrixMeta(rows, cols, sparsity)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ReMac (SIGMOD 2022) reproduction CLI")
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a workload through an engine")
+    run.add_argument("--engine", default="remac", choices=sorted(ENGINES))
+    run.add_argument("--algorithm", default="dfp", choices=sorted(ALGORITHMS))
+    run.add_argument("--dataset", default="cri2",
+                     help=f"one of {', '.join(ALL_DATASET_NAMES)}")
+    run.add_argument("--iterations", type=int, default=20)
+    run.add_argument("--scale", type=float, default=0.5,
+                     help="dataset row-count scale factor")
+    run.add_argument("--estimator", default=None,
+                     choices=["metadata", "mnc", "densitymap", "sampling",
+                              "exact"])
+    run.add_argument("--single-node", action="store_true")
+    run.add_argument("--charge-partition", action="store_true",
+                     help="include input-partition (ingest) time")
+
+    optimize = sub.add_parser("optimize", help="compile a script, print plan")
+    optimize.add_argument("script", help="path to a DML-like script file")
+    optimize.add_argument("--input", action="append", default=[],
+                          metavar="NAME:RxC[:sp]",
+                          help="matrix input metadata (repeatable)")
+    optimize.add_argument("--scalar", action="append", default=[],
+                          help="names to parse as scalars (repeatable)")
+    optimize.add_argument("--symmetric", action="append", default=[],
+                          help="inputs known symmetric (repeatable)")
+    optimize.add_argument("--iterations", type=int, default=20)
+    optimize.add_argument("--strategy", default="adaptive",
+                          choices=["adaptive", "conservative", "aggressive",
+                                   "automatic", "none"])
+    optimize.add_argument("--estimator", default="mnc")
+
+    sub.add_parser("datasets", help="list available datasets")
+    return parser
+
+
+def _command_run(args) -> int:
+    engine_kwargs = {}
+    if args.estimator and args.engine.startswith("remac") \
+            and args.engine == "remac":
+        engine_kwargs["estimator"] = args.estimator
+    cluster = ClusterConfig()
+    if args.single_node:
+        cluster = cluster.as_single_node()
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    algo = get_algorithm(args.algorithm)
+    meta, data = algo.make_inputs(dataset.matrix)
+    engine = make_engine(args.engine, cluster, **engine_kwargs)
+    result = engine.run(algo.program(args.iterations), meta, data,
+                        symmetric=algo.symmetric_inputs,
+                        iterations=args.iterations,
+                        charge_partition=args.charge_partition)
+    print(f"engine:    {args.engine}")
+    print(f"workload:  {args.algorithm} on {args.dataset} "
+          f"({dataset.shape[0]}x{dataset.shape[1]}, "
+          f"sparsity {dataset.meta.sparsity:.4f})")
+    if result.compiled is not None:
+        print(f"compiled:  {result.compiled.describe()}")
+        for option in result.compiled.applied_options:
+            print(f"  applied {option}")
+    phases = result.metrics.seconds_by_phase
+    for phase in ("input_partition", "compilation", "computation",
+                  "transmission"):
+        if phases.get(phase):
+            print(f"{phase:>15}: {phases[phase]:.4f} s (simulated)")
+    print(f"{'execution':>15}: {result.execution_seconds:.4f} s (simulated)")
+    return 0
+
+
+def _command_optimize(args) -> int:
+    with open(args.script) as handle:
+        source = handle.read()
+    inputs = dict(_parse_input_spec(spec) for spec in args.input)
+    for name in args.symmetric:
+        if name in inputs:
+            inputs[name] = inputs[name].with_symmetric(True)
+    for name in args.scalar:
+        inputs.setdefault(name, MatrixMeta(1, 1))
+    program = parse(source, scalar_names=set(args.scalar),
+                    max_iterations=args.iterations)
+    missing = program.free_variables() - set(inputs)
+    if missing:
+        print(f"error: no metadata for inputs: {', '.join(sorted(missing))}",
+              file=sys.stderr)
+        return 2
+    optimizer = ReMacOptimizer(
+        ClusterConfig(), OptimizerConfig(strategy=args.strategy,
+                                         estimator=args.estimator))
+    compiled = optimizer.compile(program, inputs, iterations=args.iterations)
+    print(f"# options found: {compiled.notes['options_found']}, "
+          f"applied: {len(compiled.applied_options)}, "
+          f"predicted cost: {compiled.estimated_cost:.4f} s")
+    for option in compiled.applied_options:
+        print(f"# applied {option}")
+    print(format_program(compiled.program))
+    return 0
+
+
+def _command_datasets() -> int:
+    rows = []
+    for name in ALL_DATASET_NAMES:
+        dataset = load_dataset(name, scale=0.1)
+        stats = dataset.statistics()
+        rows.append({"name": name, "rows(0.1x)": stats["rows"],
+                     "cols": stats["cols"],
+                     "sparsity": stats["sparsity"],
+                     "description": dataset.description})
+    print(render_table(rows, title="Available datasets"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "optimize":
+        return _command_optimize(args)
+    if args.command == "datasets":
+        return _command_datasets()
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Evaluation workloads: scripts, input builders, NumPy references."""
+
+from .reference import (
+    REFERENCES,
+    bfgs_reference,
+    dfp_reference,
+    gd_reference,
+    gnmf_reference,
+    partial_dfp_reference,
+    run_reference,
+)
+from .scripts import (
+    ALGORITHMS,
+    BFGS_SCRIPT,
+    DFP_SCRIPT,
+    GD_SCRIPT,
+    GNMF_SCRIPT,
+    PARTIAL_DFP_SCRIPT,
+    Algorithm,
+    get_algorithm,
+)
+
+__all__ = [
+    "ALGORITHMS", "Algorithm", "get_algorithm",
+    "GD_SCRIPT", "DFP_SCRIPT", "BFGS_SCRIPT", "GNMF_SCRIPT", "PARTIAL_DFP_SCRIPT",
+    "REFERENCES", "run_reference",
+    "gd_reference", "dfp_reference", "bfgs_reference", "gnmf_reference",
+    "partial_dfp_reference",
+]

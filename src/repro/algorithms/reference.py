@@ -1,0 +1,166 @@
+"""Plain NumPy reference implementations of the workloads.
+
+Each function mirrors its DML script line by line. The integration tests
+run both — the script through the simulated distributed executor, the
+reference in NumPy — and require the results to agree to floating-point
+tolerance, which pins down the rewriter: an optimized plan must compute
+*exactly* the same value as the unoptimized one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _dense(matrix) -> np.ndarray:
+    if hasattr(matrix, "toarray"):
+        return matrix.toarray()
+    return np.asarray(matrix, dtype=np.float64)
+
+
+def gd_reference(A, b: np.ndarray, x: np.ndarray, alpha: float,
+                 iterations: int) -> dict[str, np.ndarray]:
+    """Gradient descent: x -= alpha * Aᵀ(Ax - b)."""
+    A = _dense(A)
+    x = x.copy()
+    g = np.zeros_like(x)
+    for _ in range(iterations):
+        g = A.T @ (A @ x - b)
+        x = x - alpha * g
+    return {"x": x, "g": g}
+
+
+def dfp_reference(A, b: np.ndarray, x: np.ndarray, H: np.ndarray,
+                  iterations: int) -> dict[str, np.ndarray]:
+    """DFP with exact line search on ||Ax - b||² (the paper's Eq. 1-2)."""
+    A = _dense(A)
+    x = x.copy()
+    H = H.copy()
+    AtA = A.T @ A
+    g = 2.0 * (A.T @ (A @ x) - A.T @ b)
+    for _ in range(iterations):
+        d = -H @ g
+        dAAd = float((d.T @ AtA @ d).item())
+        alpha = float((-(g.T @ d)).item()) / (2.0 * dAAd)
+        x = x + alpha * d
+        HAAd = H @ (AtA @ d)
+        denominator = float((d.T @ AtA @ H @ (AtA @ d)).item())
+        H = H - (HAAd @ (AtA @ d).T @ H) / denominator + (d @ d.T) / (2.0 * dAAd)
+        g = g + 2.0 * alpha * (AtA @ d)
+    return {"x": x, "H": H, "g": g}
+
+
+def bfgs_reference(A, b: np.ndarray, x: np.ndarray, H: np.ndarray,
+                   iterations: int) -> dict[str, np.ndarray]:
+    """BFGS inverse-Hessian update expanded exactly like the script."""
+    A = _dense(A)
+    x = x.copy()
+    H = H.copy()
+    AtA = A.T @ A
+    g = 2.0 * (A.T @ (A @ x) - A.T @ b)
+    for _ in range(iterations):
+        d = -H @ g
+        dAAd = float((d.T @ AtA @ d).item())
+        alpha = float((-(g.T @ d)).item()) / (2.0 * dAAd)
+        x = x + alpha * d
+        sy = 2.0 * alpha * alpha * dAAd
+        yHy = 4.0 * alpha * alpha * float((d.T @ AtA @ H @ (AtA @ d)).item())
+        H = H \
+            - (2.0 * alpha * alpha / sy) * (d @ d.T @ AtA @ H + H @ AtA @ d @ d.T) \
+            + (yHy / (sy * sy) + 1.0 / sy) * (alpha * alpha * (d @ d.T))
+        g = g + 2.0 * alpha * (AtA @ d)
+    return {"x": x, "H": H, "g": g}
+
+
+def gnmf_reference(V, W: np.ndarray, Hm: np.ndarray,
+                   iterations: int) -> dict[str, np.ndarray]:
+    """Multiplicative-update GNMF with per-iteration objective tracking."""
+    V = _dense(V)
+    W = W.copy()
+    Hm = Hm.copy()
+    obj = 0.0
+    for _ in range(iterations):
+        R = V - W @ Hm
+        obj = float(np.square(R).sum())
+        Hm = Hm * (W.T @ V) / (W.T @ W @ Hm + 1e-6)
+        W = W * (V @ Hm.T) / (W @ Hm @ Hm.T + 1e-6)
+    return {"W": W, "Hm": Hm, "obj": np.array([[obj]])}
+
+
+def partial_dfp_reference(A, d: np.ndarray, H: np.ndarray) -> dict[str, np.ndarray]:
+    """The partial-DFP scalar dᵀAᵀAHAᵀAd."""
+    A = _dense(A)
+    out = d.T @ A.T @ A @ H @ A.T @ A @ d
+    return {"out": out}
+
+
+def ridge_reference(A, b: np.ndarray, x: np.ndarray, alpha: float,
+                    lambda_: float, iterations: int) -> dict[str, np.ndarray]:
+    """L2-regularized gradient descent."""
+    A = _dense(A)
+    x = x.copy()
+    g = np.zeros_like(x)
+    for _ in range(iterations):
+        g = A.T @ (A @ x - b) + lambda_ * x
+        x = x - alpha * g
+    return {"x": x, "g": g}
+
+
+def power_iteration_reference(A, v: np.ndarray,
+                              iterations: int) -> dict[str, np.ndarray]:
+    """Power iteration on AᵀA: the leading right singular vector."""
+    A = _dense(A)
+    v = v.copy()
+    w = v
+    for _ in range(iterations):
+        w = A.T @ (A @ v)
+        v = w / np.linalg.norm(w)
+    return {"v": v, "w": w}
+
+
+def logistic_reference(A, y: np.ndarray, x: np.ndarray, alpha: float,
+                       iterations: int) -> dict[str, np.ndarray]:
+    """Logistic-regression gradient descent."""
+    A = _dense(A)
+    x = x.copy()
+    g = np.zeros_like(x)
+    for _ in range(iterations):
+        g = A.T @ (1.0 / (1.0 + np.exp(-(A @ x))) - y)
+        x = x - alpha * g
+    return {"x": x, "g": g}
+
+
+REFERENCES = {
+    "gd": gd_reference,
+    "dfp": dfp_reference,
+    "bfgs": bfgs_reference,
+    "gnmf": gnmf_reference,
+    "partial_dfp": partial_dfp_reference,
+    "ridge": ridge_reference,
+    "power_iteration": power_iteration_reference,
+    "logistic": logistic_reference,
+}
+
+
+def run_reference(name: str, data: dict, iterations: int) -> dict[str, np.ndarray]:
+    """Run a workload's reference implementation from its input bindings."""
+    if name == "gd":
+        return gd_reference(data["A"], data["b"], data["x"], data["alpha"],
+                            iterations)
+    if name == "dfp":
+        return dfp_reference(data["A"], data["b"], data["x"], data["H"], iterations)
+    if name == "bfgs":
+        return bfgs_reference(data["A"], data["b"], data["x"], data["H"], iterations)
+    if name == "gnmf":
+        return gnmf_reference(data["V"], data["W"], data["Hm"], iterations)
+    if name == "partial_dfp":
+        return partial_dfp_reference(data["A"], data["d"], data["H"])
+    if name == "ridge":
+        return ridge_reference(data["A"], data["b"], data["x"], data["alpha"],
+                               data["lambda_"], iterations)
+    if name == "power_iteration":
+        return power_iteration_reference(data["A"], data["v"], iterations)
+    if name == "logistic":
+        return logistic_reference(data["A"], data["y"], data["x"],
+                                  data["alpha"], iterations)
+    raise ValueError(f"unknown algorithm {name!r}")

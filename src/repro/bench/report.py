@@ -1,0 +1,61 @@
+"""Result tables: render experiment rows the way the paper reports them.
+
+Each figure driver returns a list of row dicts; :func:`render_table` turns
+them into an aligned ASCII table, and :func:`save_report` both prints it and
+writes it under ``results/`` so `pytest benchmarks/` leaves durable
+artifacts regardless of output capturing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+RESULTS_DIR = os.environ.get("REPRO_RESULTS_DIR", "results")
+
+
+def format_value(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(rows: list[dict], columns: Iterable[str] | None = None,
+                 title: str = "") -> str:
+    """Render rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    cells = [[format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(row[i]) for row in cells))
+              for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def save_report(name: str, rows: list[dict],
+                columns: Iterable[str] | None = None, title: str = "",
+                notes: str = "") -> str:
+    """Print a table and persist it to ``results/<name>.txt``."""
+    text = render_table(rows, columns, title)
+    if notes:
+        text += "\n\n" + notes
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print("\n" + text)
+    return text

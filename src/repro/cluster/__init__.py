@@ -1,0 +1,31 @@
+"""Simulated cluster: topology, transmission primitives, budgets, metrics."""
+
+from .memory import fits_locally, is_broadcastable, is_distributed, matrix_bytes
+from .metrics import (
+    PHASE_COMPILATION,
+    PHASE_COMPUTATION,
+    PHASE_INPUT_PARTITION,
+    PHASE_TRANSMISSION,
+    PRIMITIVES,
+    MetricsCollector,
+)
+from .network import (
+    BROADCAST,
+    COLLECT,
+    DFS,
+    SHUFFLE,
+    Network,
+    Transmission,
+    broadcast_volume,
+    transmission_seconds,
+)
+from .topology import Cluster, Worker
+
+__all__ = [
+    "fits_locally", "is_broadcastable", "is_distributed", "matrix_bytes",
+    "MetricsCollector", "PRIMITIVES",
+    "PHASE_COMPILATION", "PHASE_COMPUTATION", "PHASE_INPUT_PARTITION", "PHASE_TRANSMISSION",
+    "Network", "Transmission", "broadcast_volume", "transmission_seconds",
+    "BROADCAST", "SHUFFLE", "COLLECT", "DFS",
+    "Cluster", "Worker",
+]

@@ -1,0 +1,55 @@
+"""Memory-budget decisions: what lives on the driver vs the cluster.
+
+SystemDS "automatically switches the execution between local and distributed
+mode, to avoid heavy communication cost" (§5); the decision is whether the
+operands and output of an operation fit in the control program's memory
+budget. These helpers centralize that policy so the cost model and the
+runtime agree on which operators are local.
+"""
+
+from __future__ import annotations
+
+from ..config import ClusterConfig
+from ..matrix.formats import size_in_bytes
+from ..matrix.meta import MatrixMeta
+
+#: Fraction of the driver budget one resident matrix may occupy; SystemDS
+#: reserves headroom for the operation's working set.
+RESIDENT_FRACTION = 0.25
+
+
+def matrix_bytes(meta: MatrixMeta, force_dense: bool = False) -> float:
+    """Format-aware serialized size of a matrix with this metadata."""
+    if force_dense:
+        from ..matrix.formats import StorageFormat
+        return size_in_bytes(meta, StorageFormat.DENSE)
+    return size_in_bytes(meta)
+
+
+def is_distributed(meta: MatrixMeta, config: ClusterConfig,
+                   force_dense: bool = False) -> bool:
+    """Whether a matrix of this size is stored as a distributed dataset.
+
+    Single-node configurations keep everything local. Otherwise a matrix is
+    distributed once it exceeds a fraction of the driver budget — large
+    datasets and wide intermediates go to the cluster, vectors and small
+    Hessian-sized matrices may stay on the driver.
+    """
+    if config.single_node:
+        return False
+    return matrix_bytes(meta, force_dense) > config.driver_memory_bytes * RESIDENT_FRACTION
+
+
+def fits_locally(metas: list[MatrixMeta], config: ClusterConfig,
+                 force_dense: bool = False) -> bool:
+    """Whether an operation over these matrices can run on the driver."""
+    if config.single_node:
+        return True
+    total = sum(matrix_bytes(meta, force_dense) for meta in metas)
+    return total <= config.driver_memory_bytes
+
+
+def is_broadcastable(meta: MatrixMeta, config: ClusterConfig,
+                     force_dense: bool = False) -> bool:
+    """Whether an operand is small enough to broadcast for a BMM."""
+    return matrix_bytes(meta, force_dense) <= config.broadcast_limit_bytes

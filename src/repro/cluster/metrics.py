@@ -1,0 +1,96 @@
+"""Metrics collection: the simulated clock and traffic counters.
+
+Everything the paper's evaluation plots is derivable from this collector:
+elapsed simulated time split into compilation / computation / transmission /
+input-partition phases (Fig. 12), bytes moved per transmission primitive,
+and per-worker data placement (Fig. 13).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+#: Phase names used throughout the runtime.
+PHASE_COMPILATION = "compilation"
+PHASE_COMPUTATION = "computation"
+PHASE_TRANSMISSION = "transmission"
+PHASE_INPUT_PARTITION = "input_partition"
+
+PRIMITIVES = ("broadcast", "shuffle", "collect", "dfs")
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates simulated time and traffic for one program execution."""
+
+    seconds_by_phase: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    bytes_by_primitive: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    seconds_by_primitive: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    bytes_by_worker: dict[int, float] = field(default_factory=lambda: defaultdict(float))
+    operator_counts: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def charge_compute(self, seconds: float) -> None:
+        self.seconds_by_phase[PHASE_COMPUTATION] += seconds
+
+    def charge_transmission(self, primitive: str, nbytes: float, seconds: float) -> None:
+        self.seconds_by_phase[PHASE_TRANSMISSION] += seconds
+        self.bytes_by_primitive[primitive] += nbytes
+        self.seconds_by_primitive[primitive] += seconds
+
+    def charge_compilation(self, seconds: float) -> None:
+        self.seconds_by_phase[PHASE_COMPILATION] += seconds
+
+    def charge_input_partition(self, seconds: float) -> None:
+        self.seconds_by_phase[PHASE_INPUT_PARTITION] += seconds
+
+    def record_worker_bytes(self, worker: int, nbytes: float) -> None:
+        self.bytes_by_worker[worker] += nbytes
+
+    def count_operator(self, name: str) -> None:
+        self.operator_counts[name] += 1
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds_by_phase.values())
+
+    @property
+    def execution_seconds(self) -> float:
+        """Time excluding compilation and input partitioning (Fig. 8(b))."""
+        return (self.seconds_by_phase[PHASE_COMPUTATION]
+                + self.seconds_by_phase[PHASE_TRANSMISSION])
+
+    def worker_proportions(self, num_workers: int) -> list[float]:
+        """Fraction of hosted bytes per worker (Fig. 13)."""
+        total = sum(self.bytes_by_worker.values())
+        if total == 0:
+            return [0.0] * num_workers
+        return [self.bytes_by_worker.get(w, 0.0) / total for w in range(num_workers)]
+
+    def merged_with(self, other: "MetricsCollector") -> "MetricsCollector":
+        """A new collector with both sets of charges (for aggregation)."""
+        merged = MetricsCollector()
+        for source in (self, other):
+            for phase, sec in source.seconds_by_phase.items():
+                merged.seconds_by_phase[phase] += sec
+            for prim, nbytes in source.bytes_by_primitive.items():
+                merged.bytes_by_primitive[prim] += nbytes
+            for prim, sec in source.seconds_by_primitive.items():
+                merged.seconds_by_primitive[prim] += sec
+            for worker, nbytes in source.bytes_by_worker.items():
+                merged.bytes_by_worker[worker] += nbytes
+            for name, count in source.operator_counts.items():
+                merged.operator_counts[name] += count
+        return merged
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict used by the benchmark reports."""
+        result = {f"seconds_{phase}": secs for phase, secs in self.seconds_by_phase.items()}
+        result["seconds_total"] = self.total_seconds
+        for primitive in PRIMITIVES:
+            result[f"bytes_{primitive}"] = self.bytes_by_primitive.get(primitive, 0.0)
+        return result
+
+    def __repr__(self) -> str:
+        phases = ", ".join(f"{k}={v:.3f}s" for k, v in sorted(self.seconds_by_phase.items()))
+        return f"MetricsCollector({phases})"

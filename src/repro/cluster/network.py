@@ -1,0 +1,83 @@
+"""Transmission primitives and their time accounting.
+
+The paper's cost model (Eq. 5) decomposes transmission into four primitives:
+*collection* (cluster -> driver), *broadcast* (driver -> every worker),
+*shuffle* (worker <-> worker exchange), and *dfs* (distributed-filesystem
+reads/writes). This module is the single place that converts a byte volume
+of a primitive into simulated seconds, so the optimizer's cost model and the
+runtime's clock use identical arithmetic — they differ only in whether the
+byte volume comes from *estimated* or *observed* metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ClusterConfig
+from .metrics import MetricsCollector
+
+BROADCAST = "broadcast"
+SHUFFLE = "shuffle"
+COLLECT = "collect"
+DFS = "dfs"
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """One priced transmission: primitive, volume, and simulated duration."""
+
+    primitive: str
+    nbytes: float
+    seconds: float
+
+
+def transmission_seconds(config: ClusterConfig, primitive: str, nbytes: float) -> float:
+    """Simulated wall time to move ``nbytes`` via ``primitive``.
+
+    Single-node configurations short-circuit to zero: there is no network.
+    A fixed per-invocation latency models job scheduling overhead, which is
+    what makes many tiny distributed operations slower than one local one.
+    """
+    if config.single_node or nbytes <= 0.0:
+        return 0.0
+    return config.primitive_latency_sec + nbytes / config.primitive_speed(primitive)
+
+
+def broadcast_volume(config: ClusterConfig, operand_bytes: float) -> float:
+    """Total bytes moved broadcasting one operand to every worker.
+
+    The paper counts ``D_broadcast = size(V)`` per destination; with a
+    tree/torrent broadcast each worker still receives a full copy, so the
+    cluster-wide volume is ``size(V) * num_workers``.
+    """
+    if config.single_node:
+        return 0.0
+    return operand_bytes * config.num_workers
+
+
+class Network:
+    """Prices transmissions against a config, optionally charging metrics."""
+
+    def __init__(self, config: ClusterConfig, metrics: MetricsCollector | None = None):
+        self.config = config
+        self.metrics = metrics
+
+    def transmit(self, primitive: str, nbytes: float) -> Transmission:
+        """Account for one transmission and return its pricing."""
+        seconds = transmission_seconds(self.config, primitive, nbytes)
+        event = Transmission(primitive, nbytes, seconds)
+        if self.metrics is not None and seconds > 0.0:
+            self.metrics.charge_transmission(primitive, nbytes, seconds)
+        return event
+
+    def broadcast(self, operand_bytes: float) -> Transmission:
+        return self.transmit(BROADCAST, broadcast_volume(self.config, operand_bytes))
+
+    def shuffle(self, nbytes: float) -> Transmission:
+        return self.transmit(SHUFFLE, nbytes)
+
+    def collect(self, nbytes: float) -> Transmission:
+        return self.transmit(COLLECT, nbytes)
+
+    def dfs(self, nbytes: float) -> Transmission:
+        return self.transmit(DFS, nbytes)

@@ -1,0 +1,75 @@
+"""Cluster topology: driver and workers of the simulated cluster.
+
+The paper's testbed is seven nodes — one driver running the control program
+plus six Spark workers (§6.1, §6.5 reports six workers). The topology object
+tracks, per worker, which matrix blocks it currently hosts, so placement
+questions (work balance, pre-shuffle aggregation opportunities) have a
+concrete answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import ClusterConfig
+from ..matrix.blocked import BlockedMatrix
+from ..matrix.partitioner import worker_of_block
+
+
+@dataclass
+class Worker:
+    """A worker node hosting a set of blocks from distributed matrices."""
+
+    worker_id: int
+    hosted_bytes: float = 0.0
+    hosted_blocks: int = 0
+
+    def host(self, nbytes: float) -> None:
+        self.hosted_bytes += nbytes
+        self.hosted_blocks += 1
+
+    def evict(self, nbytes: float) -> None:
+        self.hosted_bytes = max(0.0, self.hosted_bytes - nbytes)
+        self.hosted_blocks = max(0, self.hosted_blocks - 1)
+
+
+@dataclass
+class Cluster:
+    """The simulated cluster: a driver plus ``config.num_workers`` workers."""
+
+    config: ClusterConfig
+    workers: list[Worker] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.workers:
+            self.workers = [Worker(i) for i in range(self.config.num_workers)]
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.workers)
+
+    def place(self, matrix: BlockedMatrix) -> dict[int, float]:
+        """Hash-place a matrix's blocks; returns bytes hosted per worker."""
+        placed: dict[int, float] = {w.worker_id: 0.0 for w in self.workers}
+        for key, block in matrix.iter_blocks():
+            worker = worker_of_block(*key, self.num_workers)
+            nbytes = block.serialized_bytes()
+            self.workers[worker].host(nbytes)
+            placed[worker] += nbytes
+        return placed
+
+    def release(self, matrix: BlockedMatrix) -> None:
+        """Remove a matrix's blocks from worker accounting."""
+        for key, block in matrix.iter_blocks():
+            worker = worker_of_block(*key, self.num_workers)
+            self.workers[worker].evict(block.serialized_bytes())
+
+    def total_hosted_bytes(self) -> float:
+        return sum(w.hosted_bytes for w in self.workers)
+
+    def balance(self) -> list[float]:
+        """Fraction of hosted bytes per worker; uniform is 1/num_workers."""
+        total = self.total_hosted_bytes()
+        if total == 0.0:
+            return [0.0] * self.num_workers
+        return [w.hosted_bytes / total for w in self.workers]

@@ -1,0 +1,108 @@
+"""Configuration objects for the simulated cluster and the optimizer.
+
+:class:`ClusterConfig` captures the paper's experimental substrate (a 7-node
+cluster: one driver plus six Spark workers, 1 Gbps Ethernet, §6.1) scaled to
+laptop-size matrices. The same object parameterizes both the cost model
+(what the optimizer *believes*) and the runtime simulator (what execution
+*charges*), so the two stay comparable by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .matrix.blocked import DEFAULT_BLOCK_SIZE
+
+#: Gigabit Ethernet payload rate, bytes/second.
+GBPS = 125_000_000.0
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Topology, speeds, and memory budgets of the simulated cluster."""
+
+    num_workers: int = 6
+    cores_per_worker: int = 12
+    #: Peak double-precision FLOP/s of one core.
+    flops_per_core: float = 2.0e9
+    #: Bytes/second for each transmission primitive (the 1/w_pr of Eq. 5).
+    broadcast_bytes_per_sec: float = GBPS
+    shuffle_bytes_per_sec: float = 0.5 * GBPS
+    collect_bytes_per_sec: float = GBPS
+    dfs_bytes_per_sec: float = 0.65 * GBPS
+    #: Fixed latency charged per transmission primitive invocation (job
+    #: launch, scheduling). Keeps many tiny distributed ops from being free.
+    primitive_latency_sec: float = 1.0e-3
+    #: Driver (control-program) memory budget: operations whose operands and
+    #: output all fit run locally, SystemDS-style hybrid execution.
+    driver_memory_bytes: float = 2_000_000.0
+    #: Largest operand the runtime will broadcast for a BMM.
+    broadcast_limit_bytes: float = 500_000.0
+    block_size: int = DEFAULT_BLOCK_SIZE
+    #: Single-node mode: every operator runs locally with no transmission
+    #: (the paper's Fig. 3(b) setting, "sufficient memory").
+    single_node: bool = False
+
+    @property
+    def cluster_flops(self) -> float:
+        """Aggregate peak FLOP/s across workers (1/w_flop in Eq. 4)."""
+        return self.num_workers * self.cores_per_worker * self.flops_per_core
+
+    @property
+    def driver_flops(self) -> float:
+        """Peak FLOP/s of the driver node (local/CP execution)."""
+        return self.cores_per_worker * self.flops_per_core
+
+    def as_single_node(self) -> "ClusterConfig":
+        """The same hardware collapsed to one node with ample memory."""
+        return replace(self, single_node=True,
+                       driver_memory_bytes=float("inf"),
+                       num_workers=1)
+
+    def primitive_speed(self, primitive: str) -> float:
+        """Bytes/second for a named transmission primitive."""
+        speeds = {
+            "broadcast": self.broadcast_bytes_per_sec,
+            "shuffle": self.shuffle_bytes_per_sec,
+            "collect": self.collect_bytes_per_sec,
+            "dfs": self.dfs_bytes_per_sec,
+        }
+        try:
+            return speeds[primitive]
+        except KeyError:
+            raise ValueError(f"unknown transmission primitive {primitive!r}") from None
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Knobs for the ReMac optimizer pipeline."""
+
+    #: Sparsity estimator name: "metadata", "mnc", "densitymap", "sampling",
+    #: or "exact" (testing oracle).
+    estimator: str = "mnc"
+    #: Elimination strategy: "adaptive" (cost-graph DP), "conservative",
+    #: "aggressive", "all" (apply a maximal non-contradictory set), or
+    #: "none".
+    strategy: str = "adaptive"
+    #: Search method for elimination options: "blockwise" (ReMac),
+    #: "treewise" (baseline), "spores" (baseline), or "explicit"
+    #: (SystemDS: identical subtrees only).
+    search: str = "blockwise"
+    #: Combiner for adaptive elimination: "dp" (ReMac) or "enum-dfs" /
+    #: "enum-bfs" (brute force baselines).
+    combiner: str = "dp"
+    #: Safety cap on plans the tree-wise baseline may visit before raising
+    #: SearchBudgetExceeded.
+    treewise_plan_budget: int = 2_000_000
+    #: Number of chain permutations the SPORES-like baseline samples.
+    spores_sample_limit: int = 24
+    #: mmchain fusion constraint: maximum columns of the middle matrix.
+    spores_mmchain_col_limit: int = 1000
+    #: Cap on options considered by the brute-force enumerator.
+    enum_option_limit: int = 20
+    #: Assumed loop iteration count when a loop does not specify one.
+    default_iterations: int = 100
+
+
+DEFAULT_CLUSTER = ClusterConfig()
+DEFAULT_OPTIMIZER = OptimizerConfig()

@@ -1,0 +1,7 @@
+"""Cost model: operator pricing over sketches and program-level evaluation."""
+
+from .evaluate import ProgramCost, ProgramCostEvaluator, sketch_inputs
+from .model import CostModel, Priced
+
+__all__ = ["CostModel", "Priced", "ProgramCost", "ProgramCostEvaluator",
+           "sketch_inputs"]

@@ -1,0 +1,200 @@
+"""Program-level cost evaluation: a "sketch executor".
+
+Walks a program exactly the way the runtime executor does — same fused-
+transpose handling, same operator dispatch — but over estimator sketches,
+summing operator prices instead of computing values. Loop bodies are
+evaluated to a sparsity steady state (two passes) and the second pass's
+per-iteration cost is multiplied by the loop's iteration budget.
+
+This is the arbiter every elimination strategy uses: the brute-force
+enumerator prices each rewritten candidate program with it, and the DP's
+chosen plan gets its final predicted cost from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...errors import OptimizerError
+from ...lang.ast import (
+    Add,
+    Call,
+    Compare,
+    ElemDiv,
+    ElemMul,
+    Expr,
+    Literal,
+    MatMul,
+    MatrixRef,
+    Neg,
+    ScalarRef,
+    Sub,
+    Transpose,
+)
+from ...lang.program import Assign, Program, Statement, WhileLoop
+from ..sparsity.base import Sketch
+from .model import CostModel
+
+
+@dataclass
+class ProgramCost:
+    """Predicted cost of one full program run."""
+
+    prologue_seconds: float = 0.0
+    per_iteration_seconds: float = 0.0
+    iterations: int = 1
+    #: Names of statements hoisted before the loop (for diagnostics).
+    hoisted: list[str] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.prologue_seconds + self.iterations * self.per_iteration_seconds
+
+
+class ProgramCostEvaluator:
+    """Estimates the cost of executing a program on the simulated cluster."""
+
+    def __init__(self, model: CostModel):
+        self.model = model
+
+    def evaluate(self, program: Program, input_sketches: dict[str, Sketch],
+                 iterations: int | None = None) -> ProgramCost:
+        env: dict[str, Sketch] = dict(input_sketches)
+        env["__always__"] = self.model.scalar()
+        cost = ProgramCost()
+        for stmt in program.statements:
+            if isinstance(stmt, Assign):
+                seconds, sketch = self._price_assign(stmt, env)
+                cost.prologue_seconds += seconds
+                cost.hoisted.append(stmt.target)
+                env[stmt.target] = sketch
+            elif isinstance(stmt, WhileLoop):
+                loop_iters = iterations if iterations is not None else stmt.max_iterations
+                cost.iterations = loop_iters
+                cost.per_iteration_seconds += self._price_loop(stmt, env)
+            else:  # pragma: no cover - defensive
+                raise OptimizerError(f"unknown statement type {type(stmt).__name__}")
+        return cost
+
+    def _price_loop(self, loop: WhileLoop, env: dict[str, Sketch]) -> float:
+        # First pass settles loop-carried sketches; second pass is priced.
+        for stmt in loop.assignments():
+            _seconds, sketch = self._price_assign(stmt, env)
+            env[stmt.target] = sketch
+        total = 0.0
+        for stmt in loop.assignments():
+            seconds, sketch = self._price_assign(stmt, env)
+            env[stmt.target] = sketch
+            total += seconds
+        return total
+
+    def _price_assign(self, stmt: Assign, env: dict[str, Sketch]) -> tuple[float, Sketch]:
+        seconds, sketch = self._price_expr(stmt.expr, env)
+        return seconds, sketch
+
+    # ------------------------------------------------------------------
+    # Expression pricing (mirrors Executor.evaluate)
+    # ------------------------------------------------------------------
+    def _price_expr(self, expr: Expr, env: dict[str, Sketch]) -> tuple[float, Sketch]:
+        if isinstance(expr, (MatrixRef, ScalarRef)):
+            try:
+                return 0.0, env[expr.name]
+            except KeyError:
+                raise OptimizerError(f"undefined variable {expr.name!r} "
+                                     "during cost evaluation") from None
+        if isinstance(expr, Literal):
+            return 0.0, self.model.scalar()
+        if isinstance(expr, MatMul):
+            return self._price_matmul(expr, env)
+        if isinstance(expr, Transpose):
+            seconds, sketch = self._price_expr(expr.child, env)
+            if self.model.meta(sketch).is_scalar_like:
+                return seconds, sketch
+            priced = self.model.transpose(sketch)
+            return seconds + priced.seconds, priced.sketch
+        if isinstance(expr, (Add, Sub, ElemMul, ElemDiv)):
+            kind = {Add: "add", Sub: "subtract", ElemMul: "multiply",
+                    ElemDiv: "divide"}[type(expr)]
+            sec_l, left = self._price_expr(expr.left, env)
+            sec_r, right = self._price_expr(expr.right, env)
+            priced = self.model.ewise(kind, left, right)
+            return sec_l + sec_r + priced.seconds, priced.sketch
+        if isinstance(expr, Neg):
+            seconds, sketch = self._price_expr(expr.child, env)
+            return seconds, sketch
+        if isinstance(expr, Compare):
+            sec_l, _ = self._price_expr(expr.left, env)
+            sec_r, _ = self._price_expr(expr.right, env)
+            return sec_l + sec_r, self.model.scalar()
+        if isinstance(expr, Call):
+            return self._price_call(expr, env)
+        raise OptimizerError(f"cannot price expression node {type(expr).__name__}")
+
+    def _price_matmul(self, expr: MatMul, env: dict[str, Sketch]) -> tuple[float, Sketch]:
+        fused = self._try_price_mmchain(expr, env)
+        if fused is not None:
+            return fused
+        left_expr, left_fused = _unwrap_transpose(expr.left)
+        right_expr, right_fused = _unwrap_transpose(expr.right)
+        sec_l, left = self._price_expr(left_expr, env)
+        sec_r, right = self._price_expr(right_expr, env)
+        left_meta = self.model.meta(left)
+        right_meta = self.model.meta(right)
+        if left_meta.is_scalar_like and right_meta.is_scalar_like:
+            return sec_l + sec_r, self.model.scalar()
+        priced = self.model.matmul(left, right, left_fused_transpose=left_fused,
+                                   right_fused_transpose=right_fused)
+        return sec_l + sec_r + priced.seconds, priced.sketch
+
+    def _try_price_mmchain(self, expr: MatMul,
+                           env: dict[str, Sketch]) -> tuple[float, Sketch] | None:
+        """Mirror the executor's mmchain fusion in the cost model."""
+        if not isinstance(expr.left, Transpose):
+            return None
+        if not isinstance(expr.right, MatMul):
+            return None
+        if expr.left.child != expr.right.left:
+            return None
+        sec_x, x = self._price_expr(expr.left.child, env)
+        if not self.model.policy.mmchain_applicable_cols(self.model.meta(x).cols):
+            return None
+        sec_v, v = self._price_expr(expr.right.right, env)
+        if self.model.meta(v).is_scalar_like or self.model.meta(x).is_scalar_like:
+            return None
+        priced = self.model.mmchain(x, v)
+        return sec_x + sec_v + priced.seconds, priced.sketch
+
+    def _price_call(self, expr: Call, env: dict[str, Sketch]) -> tuple[float, Sketch]:
+        seconds, sketch = self._price_expr(expr.args[0], env)
+        if expr.func in ("sum", "trace"):
+            priced = self.model.aggregate(sketch)
+            return seconds + priced.seconds, priced.sketch
+        if expr.func == "norm":
+            priced = self.model.aggregate(sketch, flop_multiplier=2.0)
+            return seconds + priced.seconds, priced.sketch
+        if expr.func in ("rowsums", "colsums", "diag"):
+            priced = self.model.structural(expr.func, sketch)
+            return seconds + priced.seconds, priced.sketch
+        from ...lang.ast import CELLWISE_BUILTINS
+        if expr.func in CELLWISE_BUILTINS and \
+                not self.model.meta(sketch).is_scalar_like:
+            priced = self.model.map_cells(expr.func, sketch)
+            return seconds + priced.seconds, priced.sketch
+        # nrow/ncol and scalar math: metadata-only, free.
+        return seconds, self.model.scalar()
+
+
+def _unwrap_transpose(expr: Expr) -> tuple[Expr, bool]:
+    if isinstance(expr, Transpose):
+        return expr.child, True
+    return expr, False
+
+
+def sketch_inputs(model: CostModel, input_meta: dict, input_data: dict | None = None) -> dict[str, Sketch]:
+    """Sketch every program input, preferring actual data when provided."""
+    sketches: dict[str, Sketch] = {}
+    data = input_data or {}
+    for name, meta in input_meta.items():
+        symmetric = getattr(meta, "symmetric", False)
+        sketches[name] = model.sketch_of(data.get(name), meta, symmetric=symmetric)
+    return sketches

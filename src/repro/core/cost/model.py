@@ -1,0 +1,148 @@
+"""The cost model (§4.2): price operators from estimated metadata.
+
+Wraps the shared pricing formulas of :mod:`repro.runtime.pricing` with a
+sparsity estimator: every operator's output sketch is propagated and its
+price computed from the *estimated* metas. ``c_O = compute_O + transmit_O``
+(Eq. 3) with compute from FLOP counts (Eq. 4) and transmission from the
+primitive volumes (Eqs. 5-6) — identical formulas to the runtime's clock,
+so estimator error is the model's only error source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...config import ClusterConfig
+from ...matrix.meta import MatrixMeta
+from ...runtime.hybrid import ExecutionPolicy
+from ...runtime.pricing import (
+    OpPrice,
+    price_aggregate,
+    price_ewise,
+    price_matmul,
+    price_mmchain,
+    price_persist,
+    price_transpose,
+)
+from ..sparsity.base import Sketch, SparsityEstimator
+
+
+@dataclass
+class Priced:
+    """An operator's price together with its output sketch."""
+
+    price: OpPrice
+    sketch: Sketch
+
+    @property
+    def seconds(self) -> float:
+        return self.price.seconds
+
+
+class CostModel:
+    """Prices logical operators over estimator sketches."""
+
+    def __init__(self, config: ClusterConfig, estimator: SparsityEstimator,
+                 policy: ExecutionPolicy | None = None):
+        self.config = config
+        self.estimator = estimator
+        self.policy = policy or ExecutionPolicy.systemds()
+
+    # ------------------------------------------------------------------
+    # Sketch plumbing
+    # ------------------------------------------------------------------
+    def meta(self, sketch: Sketch) -> MatrixMeta:
+        return self.estimator.meta(sketch)
+
+    def sketch_of(self, data=None, meta: MatrixMeta | None = None,
+                  symmetric: bool = False) -> Sketch:
+        """Sketch an input from data when available, else from metadata."""
+        if data is not None and not isinstance(data, (int, float)):
+            return self.estimator.sketch_data(data, symmetric=symmetric)
+        if isinstance(data, (int, float)):
+            return self.estimator.scalar()
+        if meta is None:
+            raise ValueError("either data or meta must be provided")
+        return self.estimator.sketch_meta(meta)
+
+    @property
+    def stats_collection_seconds(self) -> float:
+        """Simulated time spent collecting estimator statistics.
+
+        Charged to compilation time — this is MNC's extra cost in
+        Fig. 10(a) relative to the metadata estimator.
+        """
+        return self.estimator.stats_collection_flops / self.config.cluster_flops
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+    def matmul(self, left: Sketch, right: Sketch,
+               left_fused_transpose: bool = False,
+               right_fused_transpose: bool = False) -> Priced:
+        eff_left = self.estimator.transpose(left) if left_fused_transpose else left
+        eff_right = self.estimator.transpose(right) if right_fused_transpose else right
+        out = self.estimator.matmul(eff_left, eff_right)
+        price = price_matmul(self.meta(eff_left), self.meta(eff_right), self.meta(out),
+                             self.config, self.policy,
+                             left_fused_transpose=left_fused_transpose,
+                             right_fused_transpose=right_fused_transpose)
+        return Priced(price, out)
+
+    def mmchain(self, x: Sketch, v: Sketch) -> Priced:
+        """Price the fused t(X) %*% (X %*% v) chain."""
+        inner = self.estimator.matmul(x, v)
+        out = self.estimator.matmul(self.estimator.transpose(x), inner)
+        price = price_mmchain(self.meta(x), self.meta(v), self.meta(out),
+                              self.config, self.policy)
+        return Priced(price, out)
+
+    def ewise(self, kind: str, left: Sketch, right: Sketch) -> Priced:
+        combine = {
+            "add": self.estimator.add,
+            "subtract": self.estimator.subtract,
+            "multiply": self.estimator.multiply,
+            "divide": self.estimator.divide,
+        }[kind]
+        out = combine(left, right)
+        price = price_ewise(kind, self.meta(left), self.meta(right), self.meta(out),
+                            self.config, self.policy)
+        return Priced(price, out)
+
+    def transpose(self, operand: Sketch) -> Priced:
+        out = self.estimator.transpose(operand)
+        price = price_transpose(self.meta(operand), self.config, self.policy)
+        return Priced(price, out)
+
+    def aggregate(self, operand: Sketch, flop_multiplier: float = 1.0) -> Priced:
+        price = price_aggregate(self.meta(operand), self.config, self.policy,
+                                flop_multiplier=flop_multiplier)
+        return Priced(price, self.estimator.scalar())
+
+    def map_cells(self, func_name: str, operand: Sketch) -> Priced:
+        """Price a cell-wise builtin map."""
+        from ...lang.ast import ZERO_PRESERVING_BUILTINS
+        from ...runtime.pricing import price_map
+        preserves = func_name in ZERO_PRESERVING_BUILTINS
+        out = self.estimator.scalar_op(operand, preserves_zero=preserves)
+        price = price_map(self.meta(operand), self.meta(out), self.config,
+                          self.policy)
+        return Priced(price, out)
+
+    def structural(self, kind: str, operand: Sketch) -> Priced:
+        """Price rowsums / colsums / diag."""
+        from ...lang.typecheck import _call_meta  # shape rules live there
+        from ...lang.ast import Call, MatrixRef
+        from ...runtime.pricing import price_structural
+        meta_in = self.meta(operand)
+        out_meta = _call_meta(Call(kind, (MatrixRef("__x__"),)),
+                              {"__x__": meta_in})
+        out = self.estimator.sketch_meta(out_meta)
+        price = price_structural(kind, meta_in, out_meta, self.config, self.policy)
+        return Priced(price, out)
+
+    def persist(self, operand: Sketch) -> OpPrice:
+        return price_persist(self.meta(operand), self.config, self.policy)
+
+    def scalar(self) -> Sketch:
+        return self.estimator.scalar()

@@ -1,0 +1,144 @@
+"""The ReMac optimizer: compiler -> optimizer -> plan pipeline (Fig. 7).
+
+:class:`ReMacOptimizer` strings the whole system together:
+
+1. **Parser/compiler** — a parsed :class:`~repro.lang.program.Program` is
+   normalized and split into coordinate blocks (:mod:`repro.core.chains`).
+2. **Searcher** — the block-wise search (or a configured baseline) finds
+   CSE and LSE options (:mod:`repro.core.search` et al.).
+3. **Adapter + cost graph** — the chosen strategy evaluates options with
+   the cost model and picks the efficient combination
+   (:mod:`repro.core.strategies`, :mod:`repro.core.probe`).
+4. **Plan generator** — the rewriter materializes the plan as an ordinary
+   program with hoisted/shared temporaries (:mod:`repro.core.rewrite`).
+
+The result is a :class:`~repro.runtime.plan.CompiledProgram` ready for any
+executor; swapping the runtime is how the paper migrates ReMac to other
+engines.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..config import ClusterConfig, OptimizerConfig
+from ..errors import OptimizerError
+from ..lang.program import Program
+from ..lang.typecheck import Environment, check_program
+from ..runtime.hybrid import ExecutionPolicy
+from ..runtime.plan import CompiledProgram
+from .chains import build_chains
+from .cost.evaluate import ProgramCostEvaluator, sketch_inputs
+from .cost.model import CostModel
+from .rewrite import rewrite_program
+from .search import blockwise_search, explicit_cse_options
+from .sparsity import make_estimator
+from .spores import spores_search
+from .strategies import choose_options
+from .treewise import treewise_search
+
+
+class ReMacOptimizer:
+    """End-to-end redundancy-elimination optimizer."""
+
+    def __init__(self, cluster: ClusterConfig | None = None,
+                 config: OptimizerConfig | None = None,
+                 policy: ExecutionPolicy | None = None):
+        self.cluster = cluster or ClusterConfig()
+        self.config = config or OptimizerConfig()
+        self.policy = policy or ExecutionPolicy.systemds()
+
+    def compile(self, program: Program, inputs: Environment,
+                input_data: dict | None = None,
+                iterations: int | None = None) -> CompiledProgram:
+        """Compile ``program`` into an optimized, executable plan.
+
+        ``inputs`` maps input names to metadata; ``input_data`` optionally
+        provides the actual matrices so data-dependent estimators (MNC,
+        sampling, density map) can sketch real structure.
+        """
+        started = time.perf_counter()
+        check_program(program, inputs)  # fail fast on shape errors
+        estimator = make_estimator(self.config.estimator)
+        model = CostModel(self.cluster, estimator, self.policy)
+        sketches = sketch_inputs(model, inputs, input_data)
+
+        # Adaptive elimination iterates to a fixpoint: once an option is
+        # applied, its temporary's defining chain can expose follow-up
+        # redundancy (e.g. after the DFP numerator's implicit CSE collapses
+        # to an outer product, AᵀA resurfaces as a loop-constant chain in
+        # the temp definition and gets hoisted in the next round). Fixed
+        # strategies run a single round, matching their §6.3.1 definitions.
+        max_rounds = 3 if self.config.strategy == "adaptive" else 1
+        rewritten = program
+        applied = []
+        rejected = []
+        found_total = 0
+        search_notes: dict = {}
+        strategy_name = self.config.strategy
+        chains = build_chains(rewritten, inputs, iterations)
+        for round_index in range(max_rounds):
+            options, round_notes = self._search(chains)
+            if round_index == 0:
+                search_notes = round_notes
+                found_total = len(options)
+            else:
+                found_total += len(options)
+            strategy = choose_options(self.config.strategy, chains, model,
+                                      options, sketches, self.config)
+            strategy_name = strategy.strategy
+            if round_index == 0:
+                chosen_ids = {o.option_id for o in strategy.chosen}
+                rejected = [o for o in options if o.option_id not in chosen_ids]
+            if not strategy.chosen and round_index > 0:
+                break
+            rewritten = rewrite_program(chains, strategy.chosen, model, sketches,
+                                        temp_prefix=f"tREMAC{round_index}_")
+            applied.extend(strategy.chosen)
+            if not strategy.chosen:
+                break
+            chains = build_chains(rewritten, inputs, iterations)
+
+        cost = ProgramCostEvaluator(model).evaluate(rewritten, sketches,
+                                                    iterations=chains.iterations)
+        compile_seconds = time.perf_counter() - started
+        return CompiledProgram(
+            program=rewritten,
+            applied_options=applied,
+            rejected_options=rejected,
+            estimated_cost=cost.total_seconds,
+            compile_seconds=compile_seconds,
+            notes={
+                "search": self.config.search,
+                "strategy": strategy_name,
+                "estimator": estimator.name,
+                "combiner": self.config.combiner,
+                "options_found": found_total,
+                "stats_collection_seconds": model.stats_collection_seconds,
+                "strategy_notes": strategy.notes,
+                **search_notes,
+            })
+
+    # ------------------------------------------------------------------
+    def _search(self, chains):
+        name = self.config.search
+        if name == "blockwise":
+            result = blockwise_search(chains)
+            return result.options, {"search_seconds": result.wall_seconds,
+                                    "windows": result.windows_visited}
+        if name == "explicit":
+            options = explicit_cse_options(chains)
+            return options, {}
+        if name == "treewise":
+            result = treewise_search(chains,
+                                     plan_budget=self.config.treewise_plan_budget)
+            return result.options, {"search_seconds": result.wall_seconds,
+                                    "plans_visited": result.plans_visited,
+                                    "plans_total": result.plans_total,
+                                    "budget_exceeded": result.budget_exceeded}
+        if name == "spores":
+            result = spores_search(chains,
+                                   sample_limit=self.config.spores_sample_limit)
+            return result.options, {"search_seconds": result.wall_seconds,
+                                    "sampled_plans": result.sampled_plans}
+        raise OptimizerError(f"unknown search method {name!r}")

@@ -1,0 +1,238 @@
+"""Probing phase: dynamic programming with candidate costs (§4.3.2).
+
+An interval DP per chain block computes, for every operand span, a table of
+*candidate entries*: the minimum accumulated cost (Eqs. 7-8) keyed by which
+option occurrences were activated inside the span (Eqs. 9-10 — the
+"accumulated costs containing candidate costs"). Activating an occurrence
+replaces its span's computation by the option's apportioned cost.
+
+Because a CSE's apportioning is only valid when *every* occurrence of the
+group activates, entries carrying a partially-activated group are discarded
+at the group's joint upstream — the smallest scope containing all its
+occurrences (site root for within-block groups, the program root for
+cross-block groups). That withdrawal is the paper's "pick the whole group
+of relevant CSE costs or none of them".
+
+The complexity is polynomial in chain length with a bounded candidate-set
+width, versus the exponential subset enumeration of
+:mod:`repro.core.enumerate`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from .build import (
+    OptionCosting,
+    SpanTable,
+    build_all_tables,
+    cost_option,
+    statement_sketch_envs,
+)
+from .chains import ProgramChains
+from .cost.model import CostModel
+from .options import EliminationOption
+from .sparsity.base import Sketch
+
+INFINITY = float("inf")
+
+#: One activated occurrence: (option_id, occurrence_index).
+Pair = tuple[int, int]
+#: Candidate key: the set of activated occurrences pending resolution.
+Key = frozenset
+
+
+@dataclass
+class ProbeResult:
+    """Outcome of the probing phase."""
+
+    chosen: list[EliminationOption] = field(default_factory=list)
+    #: Minimum accumulated chain cost over all sites (program-total seconds).
+    chain_cost: float = 0.0
+    #: Plain chain cost with no options, for the savings report.
+    plain_cost: float = 0.0
+    entries_explored: int = 0
+    wall_seconds: float = 0.0
+    costings: dict[int, OptionCosting] = field(default_factory=dict)
+
+    @property
+    def predicted_saving(self) -> float:
+        return self.plain_cost - self.chain_cost
+
+
+def probe(chains: ProgramChains, model: CostModel,
+          options: list[EliminationOption],
+          input_sketches: dict[str, Sketch],
+          entry_cap: int = 128, global_cap: int = 512) -> ProbeResult:
+    """Run building + probing; returns the chosen options and predicted cost."""
+    started = time.perf_counter()
+    envs = statement_sketch_envs(chains, model, input_sketches)
+    tables = build_all_tables(chains, model, envs)
+    costings = {opt.option_id: cost_option(opt, chains, model, tables, envs)
+                for opt in options}
+    result = _probe_with_tables(chains, tables, costings, options,
+                                entry_cap, global_cap)
+    result.wall_seconds = time.perf_counter() - started
+    return result
+
+
+def _probe_with_tables(chains: ProgramChains, tables: dict[int, SpanTable],
+                       costings: dict[int, OptionCosting],
+                       options: list[EliminationOption],
+                       entry_cap: int, global_cap: int) -> ProbeResult:
+    result = ProbeResult(costings=costings)
+    by_id = {opt.option_id: opt for opt in options}
+    group_size = {opt.option_id: len(opt.occurrences) for opt in options}
+    #: site_id -> span -> list of pairs activatable there.
+    activations: dict[int, dict[tuple[int, int], list[Pair]]] = {}
+    #: option_id -> set of site_ids its occurrences live in.
+    option_sites: dict[int, set[int]] = {}
+    for opt in options:
+        for occ_idx, occ in enumerate(opt.occurrences):
+            activations.setdefault(occ.site_id, {}).setdefault(
+                occ.span, []).append((opt.option_id, occ_idx))
+            option_sites.setdefault(opt.option_id, set()).add(occ.site_id)
+
+    # ------------------------------------------------------------------
+    # Per-site interval DP with candidate keys
+    # ------------------------------------------------------------------
+    site_roots: list[tuple[int, dict[Key, float]]] = []
+    for site in chains.sites:
+        table = tables[site.site_id]
+        n = len(site)
+        state: dict[tuple[int, int], dict[Key, float]] = {}
+        empty: Key = frozenset()
+        for i in range(n):
+            state[(i, i)] = {empty: 0.0}
+        site_acts = activations.get(site.site_id, {})
+        for width in range(2, n + 1):
+            for i in range(0, n - width + 1):
+                j = i + width - 1
+                entries: dict[Key, float] = {}
+                for k in range(i, j):
+                    op_cost = table.op_cost[(i, k, j)]
+                    left_entries = state[(i, k)]
+                    right_entries = state[(k + 1, j)]
+                    for key_l, cost_l in left_entries.items():
+                        for key_r, cost_r in right_entries.items():
+                            key = key_l | key_r
+                            cost = cost_l + cost_r + op_cost
+                            if cost < entries.get(key, INFINITY):
+                                entries[key] = cost
+                fused = table.fused_cost.get((i, j))
+                if fused is not None:
+                    for key, cost in state[(i + 2, j)].items():
+                        total = cost + fused
+                        if total < entries.get(key, INFINITY):
+                            entries[key] = total
+                for pair in site_acts.get((i, j), ()):
+                    gid, occ_idx = pair
+                    costing = costings[gid]
+                    occurrence = by_id[gid].occurrences[occ_idx]
+                    cost = costing.activation_cost(occurrence, n, table.weight)
+                    key = frozenset((pair,))
+                    if cost < entries.get(key, INFINITY):
+                        entries[key] = cost
+                result.entries_explored += len(entries)
+                state[(i, j)] = _prune(entries, entry_cap)
+        root = state[(0, n - 1)] if n >= 1 else {empty: 0.0}
+        site_roots.append((site.site_id, root))
+        result.plain_cost += table.plain_cost[(0, n - 1)] if n >= 2 else 0.0
+
+    # ------------------------------------------------------------------
+    # Program-level combination with joint-upstream resolution
+    # ------------------------------------------------------------------
+    combined: dict[Key, tuple[float, frozenset]] = {frozenset(): (0.0, frozenset())}
+    processed_sites: set[int] = set()
+    for site_id, root in site_roots:
+        processed_sites.add(site_id)
+        merged: dict[Key, tuple[float, frozenset]] = {}
+        for key_g, (cost_g, applied) in combined.items():
+            for key_s, cost_s in root.items():
+                key = key_g | key_s
+                cost = cost_g + cost_s
+                current = merged.get(key)
+                if current is None or cost < current[0]:
+                    merged[key] = (cost, applied)
+        combined = _resolve(merged, by_id, group_size, option_sites,
+                            processed_sites)
+        combined = _prune_global(combined, global_cap)
+        result.entries_explored += len(combined)
+
+    # Everything should be resolved now; pick the cheapest.
+    best_cost = INFINITY
+    best_applied: frozenset = frozenset()
+    for key, (cost, applied) in combined.items():
+        if key:
+            continue  # unresolved/partial leftovers are invalid
+        if cost < best_cost:
+            best_cost = cost
+            best_applied = applied
+    result.chain_cost = best_cost if best_cost < INFINITY else result.plain_cost
+    result.chosen = [by_id[gid] for gid in sorted(best_applied)]
+    return result
+
+
+def _resolve(entries: dict[Key, tuple[float, frozenset]],
+             by_id: dict[int, EliminationOption],
+             group_size: dict[int, int],
+             option_sites: dict[int, set[int]],
+             processed: set[int]) -> dict[Key, tuple[float, frozenset]]:
+    """Fold or discard groups whose joint upstream has been reached.
+
+    A group is resolvable once every site it occurs in has been merged. For
+    each entry: a fully-activated group folds into the applied set (its
+    apportioned costs already sum to the shared cost); a partially-activated
+    group invalidates the entry (the paper's withdrawal of useless/incomplete
+    candidates).
+    """
+    resolvable = {gid for gid, sites in option_sites.items() if sites <= processed}
+    if not resolvable:
+        return entries
+    resolved: dict[Key, tuple[float, frozenset]] = {}
+    for key, (cost, applied) in entries.items():
+        pending: set[Pair] = set()
+        new_applied = set(applied)
+        valid = True
+        counts: dict[int, int] = {}
+        for gid, occ_idx in key:
+            if gid in resolvable:
+                counts[gid] = counts.get(gid, 0) + 1
+            else:
+                pending.add((gid, occ_idx))
+        for gid, count in counts.items():
+            if count == group_size[gid]:
+                new_applied.add(gid)
+            else:
+                valid = False
+                break
+        if not valid:
+            continue
+        new_key = frozenset(pending)
+        current = resolved.get(new_key)
+        if current is None or cost < current[0]:
+            resolved[new_key] = (cost, frozenset(new_applied))
+    return resolved
+
+
+def _prune(entries: dict[Key, float], cap: int) -> dict[Key, float]:
+    """Keep the empty key and the ``cap`` cheapest candidate entries."""
+    if len(entries) <= cap:
+        return entries
+    empty: Key = frozenset()
+    kept = dict(sorted(entries.items(), key=lambda kv: kv[1])[:cap])
+    if empty in entries:
+        kept[empty] = entries[empty]
+    return kept
+
+
+def _prune_global(entries: dict[Key, tuple[float, frozenset]],
+                  cap: int) -> dict[Key, tuple[float, frozenset]]:
+    if len(entries) <= cap:
+        return entries
+    empty: Key = frozenset()
+    kept = dict(sorted(entries.items(), key=lambda kv: kv[1][0])[:cap])
+    if empty in entries and empty not in kept:
+        kept[empty] = entries[empty]
+    return kept

@@ -1,0 +1,131 @@
+"""Sparsity estimator interface.
+
+The cost model's accuracy hinges on output-sparsity estimates (§4.2: "the
+matrix sparsity directly decides FLOP_O in compute_O and D_pr in
+transmit_O"). Estimators trade accuracy for estimation cost; the paper
+evaluates the metadata-based estimator (fast, uniform assumption) against
+MNC (structure-exploiting sketches that must be collected from the data).
+
+Each estimator works on its own *sketch* type. A sketch always exposes the
+resulting :class:`~repro.matrix.meta.MatrixMeta` via :meth:`SparsityEstimator.
+meta`; richer estimators carry per-row/column structure through operators.
+
+``stats_collection_flops`` accumulates the work spent scanning input data to
+build sketches — the optimizer charges it to compilation time, reproducing
+MNC's "additional operations to collect necessary statistics" overhead.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+import numpy as np
+from scipy import sparse
+
+from ...matrix.blocked import BlockedMatrix
+from ...matrix.meta import MatrixMeta
+
+Sketch = Any
+
+
+class SparsityEstimator(ABC):
+    """Propagates sparsity (and possibly structure) through operators."""
+
+    #: Short name used in configs and benchmark labels.
+    name: str = "base"
+
+    def __init__(self) -> None:
+        #: FLOPs spent scanning data for statistics (charged to compilation).
+        self.stats_collection_flops: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Sketch construction
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def sketch_data(self, data, symmetric: bool = False) -> Sketch:
+        """Build a sketch from actual matrix data."""
+
+    @abstractmethod
+    def sketch_meta(self, meta: MatrixMeta) -> Sketch:
+        """Build a sketch from metadata alone (no data available)."""
+
+    def scalar(self) -> Sketch:
+        """Sketch of a dense scalar (1x1)."""
+        return self.sketch_meta(MatrixMeta(1, 1, 1.0))
+
+    # ------------------------------------------------------------------
+    # Operator propagation
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def matmul(self, left: Sketch, right: Sketch) -> Sketch: ...
+
+    @abstractmethod
+    def transpose(self, operand: Sketch) -> Sketch: ...
+
+    @abstractmethod
+    def add(self, left: Sketch, right: Sketch) -> Sketch: ...
+
+    @abstractmethod
+    def multiply(self, left: Sketch, right: Sketch) -> Sketch: ...
+
+    def subtract(self, left: Sketch, right: Sketch) -> Sketch:
+        """Support-wise, subtraction behaves like addition (union)."""
+        return self.add(left, right)
+
+    def divide(self, left: Sketch, right: Sketch) -> Sketch:
+        """Division keeps the numerator support (denominators are dense)."""
+        del right
+        return left
+
+    @abstractmethod
+    def scalar_op(self, operand: Sketch, preserves_zero: bool) -> Sketch:
+        """Cell-wise combination with a scalar (x*c keeps zeros, x+c does not)."""
+
+    # ------------------------------------------------------------------
+    # Readout
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def meta(self, sketch: Sketch) -> MatrixMeta:
+        """The estimated metadata of a sketch."""
+
+
+def to_support_arrays(data) -> tuple[int, int, np.ndarray, np.ndarray, int]:
+    """Row/column non-zero counts of any accepted matrix input.
+
+    Returns (rows, cols, row_counts, col_counts, nnz). This is the single
+    scan that structure-exploiting estimators pay for.
+    """
+    if isinstance(data, BlockedMatrix):
+        rows, cols = data.shape
+        row_counts = np.zeros(rows, dtype=np.int64)
+        col_counts = np.zeros(cols, dtype=np.int64)
+        size = data.block_size
+        for (bi, bj), block in data.iter_blocks():
+            payload = block.data
+            if sparse.issparse(payload):
+                coo = payload.tocoo()
+                np.add.at(row_counts, bi * size + coo.row, 1)
+                np.add.at(col_counts, bj * size + coo.col, 1)
+            else:
+                mask = payload != 0
+                row_counts[bi * size:bi * size + payload.shape[0]] += mask.sum(axis=1)
+                col_counts[bj * size:bj * size + payload.shape[1]] += mask.sum(axis=0)
+        return rows, cols, row_counts, col_counts, int(row_counts.sum())
+    if sparse.issparse(data):
+        csr = data.tocsr()
+        rows, cols = csr.shape
+        row_counts = np.diff(csr.indptr).astype(np.int64)
+        col_counts = np.bincount(csr.indices, minlength=cols).astype(np.int64)
+        return rows, cols, row_counts, col_counts, int(csr.nnz)
+    array = np.atleast_2d(np.asarray(data))
+    mask = array != 0
+    rows, cols = array.shape
+    return rows, cols, mask.sum(axis=1).astype(np.int64), \
+        mask.sum(axis=0).astype(np.int64), int(mask.sum())
+
+
+def observed_meta(data) -> MatrixMeta:
+    """Observed MatrixMeta of any accepted matrix input."""
+    rows, cols, _row_counts, _col_counts, nnz = to_support_arrays(data)
+    return MatrixMeta(rows, cols, nnz / (rows * cols) if rows * cols else 0.0)

@@ -1,0 +1,103 @@
+"""Exact sparsity oracle: propagates the true boolean support.
+
+Prohibitively expensive in a real optimizer — it *computes* every
+intermediate's support — but invaluable as a testing oracle: estimator
+tests compare MNC/metadata/density-map answers to this one, and the
+"perfect estimator" ablation benchmarks use it to isolate how much plan
+quality the estimators give up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse as sp
+
+from ...matrix.blocked import BlockedMatrix
+from ...matrix.meta import MatrixMeta
+from .base import SparsityEstimator
+
+
+@dataclass(frozen=True)
+class ExactSketch:
+    """The true boolean support of a matrix."""
+
+    support: sp.csr_matrix  # boolean CSR
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.support.shape
+
+    @property
+    def sparsity(self) -> float:
+        rows, cols = self.support.shape
+        cells = rows * cols
+        return self.support.nnz / cells if cells else 0.0
+
+
+def _as_bool_csr(data) -> sp.csr_matrix:
+    if isinstance(data, BlockedMatrix):
+        data = data.to_numpy()
+    if sp.issparse(data):
+        matrix = data.tocsr().astype(bool)
+    else:
+        matrix = sp.csr_matrix(np.atleast_2d(np.asarray(data)) != 0)
+    matrix.eliminate_zeros()
+    return matrix.astype(bool)
+
+
+class ExactEstimator(SparsityEstimator):
+    """Oracle estimator over true supports."""
+
+    name = "exact"
+
+    def sketch_data(self, data, symmetric: bool = False) -> ExactSketch:
+        support = _as_bool_csr(data)
+        self.stats_collection_flops += float(support.nnz)
+        return ExactSketch(support)
+
+    def sketch_meta(self, meta: MatrixMeta) -> ExactSketch:
+        # Without data we can only fabricate a uniform support with the
+        # right nnz; deterministic so plans are reproducible.
+        rng = np.random.default_rng(meta.rows * 2654435761 + meta.cols)
+        support = sp.random(meta.rows, meta.cols, density=min(1.0, meta.sparsity),
+                            format="csr", random_state=rng, dtype=np.float64)
+        return ExactSketch(support.astype(bool))
+
+    def matmul(self, left: ExactSketch, right: ExactSketch) -> ExactSketch:
+        product = (left.support.astype(np.int8) @ right.support.astype(np.int8))
+        return ExactSketch(product.astype(bool).tocsr())
+
+    def transpose(self, operand: ExactSketch) -> ExactSketch:
+        return ExactSketch(operand.support.T.tocsr())
+
+    def add(self, left: ExactSketch, right: ExactSketch) -> ExactSketch:
+        left, right = self._broadcast(left, right)
+        return ExactSketch((left.support + right.support).astype(bool).tocsr())
+
+    def multiply(self, left: ExactSketch, right: ExactSketch) -> ExactSketch:
+        if left.shape == (1, 1):
+            return right
+        if right.shape == (1, 1):
+            return left
+        return ExactSketch(left.support.multiply(right.support).astype(bool).tocsr())
+
+    def scalar_op(self, operand: ExactSketch, preserves_zero: bool) -> ExactSketch:
+        if preserves_zero:
+            return operand
+        rows, cols = operand.shape
+        return ExactSketch(sp.csr_matrix(np.ones((rows, cols), dtype=bool)))
+
+    def _broadcast(self, left: ExactSketch, right: ExactSketch) -> tuple[ExactSketch, ExactSketch]:
+        if left.shape == (1, 1) and right.shape != (1, 1):
+            rows, cols = right.shape
+            return ExactSketch(sp.csr_matrix(np.ones((rows, cols), dtype=bool))), right
+        if right.shape == (1, 1) and left.shape != (1, 1):
+            rows, cols = left.shape
+            return left, ExactSketch(sp.csr_matrix(np.ones((rows, cols), dtype=bool)))
+        return left, right
+
+    def meta(self, sketch: ExactSketch) -> MatrixMeta:
+        rows, cols = sketch.shape
+        return MatrixMeta(rows, cols, sketch.sparsity)

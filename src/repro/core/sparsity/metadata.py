@@ -1,0 +1,56 @@
+"""Metadata-based sparsity estimator (SystemDS's default, [10]).
+
+Assumes uniformly distributed non-zeros and derives output sparsity solely
+from input sparsities and shapes — zero estimation cost, but blind to
+structure (skew), which is how it can "mislead ReMac to a suboptimal
+combination of elimination options" (§4.2). The sketch is simply a
+:class:`~repro.matrix.meta.MatrixMeta`.
+"""
+
+from __future__ import annotations
+
+from ...matrix import sparsity_rules as rules
+from ...matrix.meta import MatrixMeta
+from .base import SparsityEstimator, observed_meta
+
+
+class MetadataEstimator(SparsityEstimator):
+    """Uniform-assumption estimator: sketch == MatrixMeta."""
+
+    name = "metadata"
+
+    def sketch_data(self, data, symmetric: bool = False) -> MatrixMeta:
+        meta = observed_meta(data)
+        return meta.with_symmetric(symmetric) if symmetric else meta
+
+    def sketch_meta(self, meta: MatrixMeta) -> MatrixMeta:
+        return meta
+
+    def matmul(self, left: MatrixMeta, right: MatrixMeta) -> MatrixMeta:
+        rows, cols = left.matmul_shape(right)
+        sparsity = rules.matmul_sparsity(left.sparsity, right.sparsity, left.cols)
+        return MatrixMeta(rows, cols, sparsity)
+
+    def transpose(self, operand: MatrixMeta) -> MatrixMeta:
+        return operand.transposed()
+
+    def add(self, left: MatrixMeta, right: MatrixMeta) -> MatrixMeta:
+        rows, cols = left.ewise_shape(right)
+        if left.is_scalar_like or right.is_scalar_like:
+            return MatrixMeta(rows, cols, 1.0)
+        return MatrixMeta(rows, cols, rules.add_sparsity(left.sparsity, right.sparsity))
+
+    def multiply(self, left: MatrixMeta, right: MatrixMeta) -> MatrixMeta:
+        rows, cols = left.ewise_shape(right)
+        if left.is_scalar_like and not right.is_scalar_like:
+            return MatrixMeta(rows, cols, right.sparsity)
+        if right.is_scalar_like and not left.is_scalar_like:
+            return MatrixMeta(rows, cols, left.sparsity)
+        return MatrixMeta(rows, cols, rules.mul_sparsity(left.sparsity, right.sparsity))
+
+    def scalar_op(self, operand: MatrixMeta, preserves_zero: bool) -> MatrixMeta:
+        return operand.with_sparsity(
+            rules.scalar_op_sparsity(operand.sparsity, preserves_zero))
+
+    def meta(self, sketch: MatrixMeta) -> MatrixMeta:
+        return sketch

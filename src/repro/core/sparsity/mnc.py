@@ -1,0 +1,142 @@
+"""MNC: matrix non-zero count sketches (Sommer et al., SIGMOD 2019 [27]).
+
+The sketch of a matrix is its exact per-row and per-column non-zero count
+vectors (h^r, h^c). Operators propagate these counts: a multiply pairs
+column counts of the left with row counts of the right over the shared
+inner dimension, applying a birthday-style collision correction (the "Edm"
+expectation the paper's footnote selects). Unlike the metadata estimator,
+MNC *sees skew*: a Zipf-distributed matrix concentrates its counts in few
+rows/columns, producing much denser product estimates for the hot rows —
+exactly the effect behind the zipf-2.1/2.8 plan changes in §6.5.
+
+Building a sketch requires one pass over the data; that work accumulates in
+``stats_collection_flops`` and the optimizer bills it to compilation time,
+reproducing MNC's estimation overhead in Fig. 10(a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...matrix.meta import MatrixMeta
+from .base import SparsityEstimator, to_support_arrays
+
+
+@dataclass(frozen=True)
+class MNCSketch:
+    """Row/column non-zero count vectors of a matrix."""
+
+    rows: int
+    cols: int
+    row_counts: np.ndarray  # shape (rows,), float64 expected counts
+    col_counts: np.ndarray  # shape (cols,)
+
+    @property
+    def nnz(self) -> float:
+        return float(self.row_counts.sum())
+
+    @property
+    def sparsity(self) -> float:
+        cells = self.rows * self.cols
+        return min(1.0, self.nnz / cells) if cells else 0.0
+
+
+def _collision_correct(candidates: np.ndarray | float, capacity: float):
+    """Expected distinct cells hit by ``candidates`` uniform throws.
+
+    ``capacity * (1 - (1 - 1/capacity)^candidates)`` — the same correction
+    MNC applies when candidate non-zero pairs may collide in one output
+    cell.
+    """
+    if capacity <= 0:
+        return 0.0
+    scaled = np.minimum(np.asarray(candidates, dtype=np.float64), 1e18)
+    if capacity <= 1.0:
+        return np.minimum(scaled, capacity)
+    return capacity * (-np.expm1(scaled * np.log1p(-1.0 / capacity)))
+
+
+class MNCEstimator(SparsityEstimator):
+    """Structure-exploiting estimator over non-zero count sketches."""
+
+    name = "mnc"
+
+    def sketch_data(self, data, symmetric: bool = False) -> MNCSketch:
+        rows, cols, row_counts, col_counts, nnz = to_support_arrays(data)
+        # One full scan of the data plus histogram aggregation.
+        self.stats_collection_flops += 2.0 * nnz + rows + cols
+        return MNCSketch(rows, cols, row_counts.astype(np.float64),
+                         col_counts.astype(np.float64))
+
+    def sketch_meta(self, meta: MatrixMeta) -> MNCSketch:
+        row_counts = np.full(meta.rows, meta.sparsity * meta.cols)
+        col_counts = np.full(meta.cols, meta.sparsity * meta.rows)
+        return MNCSketch(meta.rows, meta.cols, row_counts, col_counts)
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+    def matmul(self, left: MNCSketch, right: MNCSketch) -> MNCSketch:
+        if left.cols != right.rows:
+            raise ValueError(f"matmul shape mismatch: {left.cols} vs {right.rows}")
+        # Candidate non-zero products per inner index j: every non-zero in
+        # column j of the left meets every non-zero in row j of the right.
+        candidates_per_inner = left.col_counts * right.row_counts
+        total_candidates = float(candidates_per_inner.sum())
+        left_nnz = max(left.nnz, 1e-12)
+        right_nnz = max(right.nnz, 1e-12)
+        # Apportion candidates to output rows proportionally to the left's
+        # row counts (row i contributes h^r_L[i]/nnz_L of the pairings),
+        # then correct for collisions within each output row of width cols.
+        row_candidates = left.row_counts * (total_candidates / left_nnz)
+        col_candidates = right.col_counts * (total_candidates / right_nnz)
+        row_counts = _collision_correct(row_candidates, float(right.cols))
+        col_counts = _collision_correct(col_candidates, float(left.rows))
+        # Keep the two marginals consistent: scale columns to the row total.
+        row_total = float(np.sum(row_counts))
+        col_total = float(np.sum(col_counts))
+        if col_total > 0:
+            col_counts = col_counts * (row_total / col_total)
+        return MNCSketch(left.rows, right.cols, row_counts, col_counts)
+
+    def transpose(self, operand: MNCSketch) -> MNCSketch:
+        return MNCSketch(operand.cols, operand.rows,
+                         operand.col_counts, operand.row_counts)
+
+    def add(self, left: MNCSketch, right: MNCSketch) -> MNCSketch:
+        left, right = self._broadcast(left, right)
+        row_counts = np.minimum(left.row_counts + right.row_counts, left.cols)
+        col_counts = np.minimum(left.col_counts + right.col_counts, left.rows)
+        return MNCSketch(left.rows, left.cols, row_counts, col_counts)
+
+    def multiply(self, left: MNCSketch, right: MNCSketch) -> MNCSketch:
+        if left.rows == 1 and left.cols == 1:
+            return right
+        if right.rows == 1 and right.cols == 1:
+            return left
+        # Intersection under uniformity within each row/column.
+        row_counts = left.row_counts * right.row_counts / max(left.cols, 1)
+        col_counts = left.col_counts * right.col_counts / max(left.rows, 1)
+        return MNCSketch(left.rows, left.cols, row_counts, col_counts)
+
+    def scalar_op(self, operand: MNCSketch, preserves_zero: bool) -> MNCSketch:
+        if preserves_zero:
+            return operand
+        return MNCSketch(operand.rows, operand.cols,
+                         np.full(operand.rows, float(operand.cols)),
+                         np.full(operand.cols, float(operand.rows)))
+
+    def _broadcast(self, left: MNCSketch, right: MNCSketch) -> tuple[MNCSketch, MNCSketch]:
+        """Expand a 1x1 sketch to the other operand's shape (dense)."""
+        if left.rows == 1 and left.cols == 1 and (right.rows, right.cols) != (1, 1):
+            dense = self.sketch_meta(MatrixMeta(right.rows, right.cols, 1.0))
+            return dense, right
+        if right.rows == 1 and right.cols == 1 and (left.rows, left.cols) != (1, 1):
+            dense = self.sketch_meta(MatrixMeta(left.rows, left.cols, 1.0))
+            return left, dense
+        return left, right
+
+    def meta(self, sketch: MNCSketch) -> MatrixMeta:
+        return MatrixMeta(sketch.rows, sketch.cols, sketch.sparsity)

@@ -1,0 +1,80 @@
+"""Sampling-based sparsity estimator (MATFAST-style [32]).
+
+Estimates each input's sparsity from a row sample rather than a full scan,
+then propagates with the uniform rules. Cheap (touches a fraction of the
+data) but inherits the uniform assumption *and* adds sampling noise —
+the other "efficient" estimator family the paper surveys in §4.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as sp
+
+from ...matrix.blocked import BlockedMatrix
+from ...matrix.meta import MatrixMeta
+from .metadata import MetadataEstimator
+
+
+class SamplingEstimator(MetadataEstimator):
+    """Uniform propagation seeded with sampled input sparsities."""
+
+    name = "sampling"
+
+    def __init__(self, sample_fraction: float = 0.05, seed: int = 7):
+        super().__init__()
+        if not 0.0 < sample_fraction <= 1.0:
+            raise ValueError(f"sample_fraction must be in (0, 1], got {sample_fraction}")
+        self.sample_fraction = sample_fraction
+        self._rng = np.random.default_rng(seed)
+
+    def sketch_data(self, data, symmetric: bool = False) -> MatrixMeta:
+        if isinstance(data, BlockedMatrix):
+            dense = None
+            rows, cols = data.shape
+            sampler = self._sample_blocked
+        elif sp.issparse(data):
+            dense = None
+            rows, cols = data.shape
+            sampler = self._sample_sparse
+        else:
+            dense = np.atleast_2d(np.asarray(data))
+            rows, cols = dense.shape
+            sampler = None
+        take = max(1, int(rows * self.sample_fraction))
+        picked = self._rng.choice(rows, size=take, replace=False)
+        if sampler is not None:
+            sampled_nnz = sampler(data, picked)
+        else:
+            sampled_nnz = int(np.count_nonzero(dense[picked, :]))
+        self.stats_collection_flops += float(take) * cols * self.sample_fraction
+        sparsity = sampled_nnz / (take * cols) if take * cols else 0.0
+        meta = MatrixMeta(rows, cols, min(1.0, sparsity))
+        return meta.with_symmetric(symmetric) if symmetric else meta
+
+    @staticmethod
+    def _sample_sparse(matrix, picked: np.ndarray) -> int:
+        csr = matrix.tocsr()
+        indptr = csr.indptr
+        return int(sum(indptr[i + 1] - indptr[i] for i in picked))
+
+    @staticmethod
+    def _sample_blocked(matrix: BlockedMatrix, picked: np.ndarray) -> int:
+        size = matrix.block_size
+        wanted_by_block: dict[int, list[int]] = {}
+        for row in picked:
+            wanted_by_block.setdefault(row // size, []).append(row % size)
+        total = 0
+        for (bi, _bj), block in matrix.iter_blocks():
+            rows_in_block = wanted_by_block.get(bi)
+            if not rows_in_block:
+                continue
+            if block.is_sparse:
+                indptr = block.data.indptr
+                total += int(sum(indptr[r + 1] - indptr[r] for r in rows_in_block
+                                 if r < block.shape[0]))
+            else:
+                valid = [r for r in rows_in_block if r < block.shape[0]]
+                if valid:
+                    total += int(np.count_nonzero(block.data[valid, :]))
+        return total

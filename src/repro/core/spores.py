@@ -1,0 +1,119 @@
+"""SPORES-like baseline (Wang et al., VLDB 2020 [29]).
+
+SPORES applies relational equality saturation to find implicit CSE, but for
+long multiplication chains it falls back to *sampling* a limited number of
+chain permutations, "which has no guarantee to find all CSE" (§7). It also
+relies on SystemDS's fused ``mmchain`` operator, which only covers 3-matrix
+chains whose middle matrix has at most ~1K columns (§6.2.2's cri3 failure).
+
+This module reproduces those two behaviours:
+
+* :func:`spores_search` — CSE options restricted to occurrences whose spans
+  showed up as subtrees among a bounded sample of parenthesizations; LSE is
+  out of scope for SPORES.
+* :func:`mmchain_applicable` — the fusion constraint used when rewriting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .chains import ChainSite, ProgramChains
+from .options import EliminationOption
+from .search import SearchResult, blockwise_search
+
+
+@dataclass
+class SporesResult(SearchResult):
+    """Options SPORES-style sampling discovers, plus sampling statistics."""
+
+    sampled_plans: int = 0
+    discoverable_spans: dict[int, frozenset] = field(default_factory=dict)
+
+
+def spores_search(chains: ProgramChains, sample_limit: int = 24,
+                  seed: int = 13) -> SporesResult:
+    """Find the CSE a sampled saturation would discover.
+
+    For each chain block, ``sample_limit`` random parenthesizations are
+    drawn; a subexpression is *discoverable* only if its span appears as a
+    subtree of at least one sampled plan of its block. CSE options keep only
+    discoverable occurrences; options reduced below two occurrences vanish —
+    exactly how sampling sacrifices redundancy for search-space size.
+    """
+    started = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    result = SporesResult()
+    discoverable: dict[int, set[tuple[int, int]]] = {}
+    for site in chains.sites:
+        spans: set[tuple[int, int]] = set()
+        n = len(site)
+        for _ in range(sample_limit):
+            spans.update(_random_parenthesization_spans(rng, n))
+            result.sampled_plans += 1
+        # Single operands and the full chain are always visible.
+        spans.update((i, i) for i in range(n))
+        if n >= 2:
+            spans.add((0, n - 1))
+        discoverable[site.site_id] = spans
+    result.discoverable_spans = {k: frozenset(v) for k, v in discoverable.items()}
+
+    full = blockwise_search(chains)
+    next_id = 0
+    for option in full.cse_options:
+        kept = tuple(occ for occ in option.occurrences
+                     if occ.span in discoverable[occ.site_id])
+        if len(kept) >= 2:
+            result.options.append(EliminationOption(
+                option_id=next_id, kind=option.kind, key=option.key,
+                occurrences=kept, operands=option.operands,
+                loop_constant=option.loop_constant,
+                preserves_order=option.preserves_order,
+                palindromic=option.palindromic))
+            next_id += 1
+    result.wall_seconds = time.perf_counter() - started
+    return result
+
+
+def _random_parenthesization_spans(rng: np.random.Generator,
+                                   n: int) -> set[tuple[int, int]]:
+    """Spans of the internal nodes of one random parenthesization."""
+    spans: set[tuple[int, int]] = set()
+
+    def split(i: int, j: int) -> None:
+        if i >= j:
+            return
+        spans.add((i, j))
+        k = int(rng.integers(i, j))
+        split(i, k)
+        split(k + 1, j)
+
+    split(0, n - 1)
+    return spans
+
+
+def mmchain_applicable(site: ChainSite, metas: list, col_limit: int = 1000) -> bool:
+    """Whether SystemDS's fused mmchain covers this chain.
+
+    mmchain fuses exactly three-matrix chains and constrains the column
+    count of the second matrix (1K by default); SPORES leans on it to
+    execute chains efficiently, so chains that fail the test run in their
+    original association order.
+    """
+    if len(site) != 3:
+        return False
+    middle = metas[1]
+    return middle.cols <= col_limit
+
+
+def supports_program(chains: ProgramChains, max_chain_length: int = 7) -> bool:
+    """Whether the SPORES implementation can run the program at all.
+
+    The paper notes "the current implementation of SPORES does not support
+    running DFP or BFGS entirely"; long chains (and the constructs around
+    them) are the limiting factor, modelled here as a chain-length cap.
+    """
+    return all(len(site) <= max_chain_length for site in chains.sites)

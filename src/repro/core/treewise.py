@@ -1,0 +1,157 @@
+"""Tree-wise search baseline (§3.1): traverse every plan tree.
+
+The basic method the paper argues against: enumerate *all* execution plan
+trees of every expression — every parenthesization of every chain, each
+node optionally computed via its transposed form, combined across the
+blocks of a statement — and detect common/loop-constant operators by
+structural comparison. A chain of n matrices alone has
+``Catalan(n-1) * 2^(n-1)`` trees (the paper counts >2M for the DFP
+numerator), and a statement multiplies its blocks' counts together, so the
+traversal carries a safety budget; exceeding it raises
+:class:`~repro.errors.SearchBudgetExceeded` — the analogue of the paper's
+">8 hours" entries for DFP and BFGS.
+
+Because block-wise and tree-wise search provably cover the same redundancy
+(§6.2.2: "the block-wise and tree-wise searches output the same results"),
+the options returned on success are the block-wise ones; what this module
+reproduces is the *cost* of finding them.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from ..errors import SearchBudgetExceeded
+from .chains import ChainSite, ProgramChains
+from .search import SearchResult, blockwise_search
+
+
+def catalan(n: int) -> int:
+    """The n-th Catalan number: parenthesizations of an (n+1)-factor chain."""
+    return math.comb(2 * n, n) // (n + 1)
+
+
+def plan_tree_count(chain_length: int) -> int:
+    """Plan trees of one chain: associations times per-node transpose choice."""
+    if chain_length <= 1:
+        return 1
+    internal = chain_length - 1
+    return catalan(internal) * (2 ** internal)
+
+
+def statement_plan_count(chains: ProgramChains, stmt_index: int) -> int:
+    """Plan trees of a whole statement: the product over its blocks."""
+    total = 1
+    for site in chains.sites_of_statement(stmt_index):
+        total *= plan_tree_count(len(site))
+    return total
+
+
+def program_plan_count(chains: ProgramChains) -> int:
+    """Plan trees the tree-wise search would traverse for the program."""
+    return sum(statement_plan_count(chains, ns.index) for ns in chains.statements)
+
+
+@dataclass
+class TreewiseResult(SearchResult):
+    """Search result plus traversal statistics."""
+
+    plans_visited: int = 0
+    plans_total: int = 0
+    budget_exceeded: bool = False
+    subtree_table_size: int = 0
+    table: dict = field(default_factory=dict)
+
+
+def treewise_search(chains: ProgramChains, plan_budget: int = 2_000_000,
+                    raise_on_budget: bool = False) -> TreewiseResult:
+    """Emulate the tree-wise traversal, honestly paying its enumeration cost.
+
+    Every visited plan tree inserts all of its internal nodes' structural
+    strings into a hash table (that is the duplicated work the paper
+    describes — equal spans with different internal structure hash apart
+    and the same denominator subtree is revisited millions of times).
+    """
+    started = time.perf_counter()
+    result = TreewiseResult()
+    result.plans_total = program_plan_count(chains)
+    table: dict[str, int] = {}
+    for normalized in chains.statements:
+        sites = chains.sites_of_statement(normalized.index)
+        if not sites:
+            continue
+        per_site_trees = [_site_trees(site) for site in sites]
+        remaining = plan_budget - result.plans_visited
+        visited = _visit_cross_product(per_site_trees, table, remaining)
+        result.plans_visited += visited
+        if result.plans_visited >= plan_budget:
+            result.budget_exceeded = True
+            break
+    result.subtree_table_size = len(table)
+    result.table = table
+    if result.budget_exceeded and raise_on_budget:
+        raise SearchBudgetExceeded(
+            f"tree-wise search exceeded its budget of {plan_budget} plans "
+            f"(the program has {result.plans_total} plan trees)",
+            explored=result.plans_visited)
+    if not result.budget_exceeded:
+        # Same redundancy as the block-wise search, found the slow way.
+        blockwise = blockwise_search(chains)
+        result.options = blockwise.options
+        result.windows_visited = blockwise.windows_visited
+        result.hash_entries = blockwise.hash_entries
+    result.wall_seconds = time.perf_counter() - started
+    return result
+
+
+def _site_trees(site: ChainSite, cap: int = 200_000) -> list[tuple[str, tuple[str, ...]]]:
+    """All plan trees of one chain: (root string, internal-node strings).
+
+    Capped defensively; a single site hitting the cap will push the cross
+    product over any realistic plan budget anyway.
+    """
+    tokens = site.tokens()
+
+    def trees(i: int, j: int) -> list[tuple[str, tuple[str, ...]]]:
+        if i == j:
+            return [(tokens[i], ())]
+        variants: list[tuple[str, tuple[str, ...]]] = []
+        for k in range(i, j):
+            for left_str, left_nodes in trees(i, k):
+                for right_str, right_nodes in trees(k + 1, j):
+                    direct = f"({left_str}.{right_str})"
+                    variants.append((direct, left_nodes + right_nodes + (direct,)))
+                    via_t = f"t(t{right_str}.t{left_str})"
+                    variants.append((via_t, left_nodes + right_nodes + (via_t,)))
+                    if len(variants) >= cap:
+                        return variants
+        return variants
+
+    return trees(0, len(tokens) - 1)
+
+
+def _visit_cross_product(per_site_trees: list[list[tuple[str, tuple[str, ...]]]],
+                         table: dict[str, int], budget: int) -> int:
+    """Visit plan-tree combinations, inserting subtree strings, up to budget."""
+    visited = 0
+    indexes = [0] * len(per_site_trees)
+    sizes = [len(trees) for trees in per_site_trees]
+    while visited < budget:
+        for site_idx, tree_idx in enumerate(indexes):
+            _root, nodes = per_site_trees[site_idx][tree_idx]
+            for node in nodes:
+                table[node] = table.get(node, 0) + 1
+        visited += 1
+        # Odometer increment over the cross product.
+        position = 0
+        while position < len(indexes):
+            indexes[position] += 1
+            if indexes[position] < sizes[position]:
+                break
+            indexes[position] = 0
+            position += 1
+        if position == len(indexes):
+            return visited  # full cross product exhausted
+    return visited

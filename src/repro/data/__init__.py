@@ -1,0 +1,29 @@
+"""Datasets: Table 2 minis and Zipf-skewed variants."""
+
+from .datasets import ALL_DATASET_NAMES, Dataset, load_dataset
+from .synthetic import (
+    DATASET_NAMES,
+    DATASET_SPECS,
+    DENSE_DATASETS,
+    SPARSE_DATASETS,
+    DatasetSpec,
+    generate,
+    generate_by_name,
+    observed_statistics,
+)
+from .zipf import (
+    ZIPF_EXPONENTS,
+    generate_zipf,
+    parse_zipf_name,
+    skew_concentration,
+    zipf_name,
+    zipf_weights,
+)
+
+__all__ = [
+    "ALL_DATASET_NAMES", "Dataset", "load_dataset",
+    "DATASET_NAMES", "DATASET_SPECS", "DENSE_DATASETS", "SPARSE_DATASETS",
+    "DatasetSpec", "generate", "generate_by_name", "observed_statistics",
+    "ZIPF_EXPONENTS", "generate_zipf", "parse_zipf_name", "skew_concentration",
+    "zipf_name", "zipf_weights",
+]

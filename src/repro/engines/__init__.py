@@ -1,0 +1,46 @@
+"""Engines: ReMac and the paper's comparison systems on one substrate."""
+
+from __future__ import annotations
+
+from ..config import ClusterConfig
+from .base import Engine, RunResult
+from .pbdr import PbdREngine
+from .remac import (AggressiveEngine, AutomaticEngine, ConservativeEngine,
+                    ReMacEngine, ReMacOnPbdREngine, ReMacOnSciDBEngine)
+from .scidb import SciDBEngine
+from .spores import SporesEngine
+from .systemds import SystemDSEngine, SystemDSStarEngine
+
+ENGINES = {
+    "remac": ReMacEngine,
+    "remac-conservative": ConservativeEngine,
+    "remac-aggressive": AggressiveEngine,
+    "remac-automatic": AutomaticEngine,
+    "remac-pbdr": ReMacOnPbdREngine,
+    "remac-scidb": ReMacOnSciDBEngine,
+    "systemds": SystemDSEngine,
+    "systemds*": SystemDSStarEngine,
+    "spores": SporesEngine,
+    "pbdr": PbdREngine,
+    "scidb": SciDBEngine,
+}
+
+
+def make_engine(name: str, cluster: ClusterConfig | None = None, **kwargs) -> Engine:
+    """Instantiate an engine by its benchmark label."""
+    cluster = cluster or ClusterConfig()
+    try:
+        engine_cls = ENGINES[name]
+    except KeyError:
+        known = ", ".join(sorted(ENGINES))
+        raise ValueError(f"unknown engine {name!r}; known: {known}") from None
+    return engine_cls(cluster, **kwargs)
+
+
+__all__ = [
+    "Engine", "RunResult", "make_engine", "ENGINES",
+    "ReMacEngine", "ConservativeEngine", "AggressiveEngine", "AutomaticEngine",
+    "ReMacOnPbdREngine", "ReMacOnSciDBEngine",
+    "SystemDSEngine", "SystemDSStarEngine",
+    "SporesEngine", "PbdREngine", "SciDBEngine",
+]

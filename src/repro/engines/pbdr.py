@@ -1,0 +1,33 @@
+"""pbdR/ScaLAPACK-style engine (§6.4's HPC comparator).
+
+pbdR distributes every operation (no hybrid local execution) and "treats
+sparse matrices as dense ones" (§5): all storage and transmission volumes
+are priced dense, and partitioned GEMM replaces broadcast joins. Ingest is
+sequential — pbdR does "not support automatically splitting and
+partitioning a dataset in parallel" (§6.5) — which the runtime charges when
+``charge_partition`` is on.
+
+No redundancy elimination: the user's script runs as written (chains still
+get the optimal association, giving the baseline its best case as the
+paper's methodology prescribes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..config import ClusterConfig, OptimizerConfig
+from ..runtime.hybrid import ExecutionPolicy
+from .base import Engine
+
+
+class PbdREngine(Engine):
+    """Always-distributed, dense-only HPC engine."""
+
+    name = "pbdr"
+
+    def __init__(self, cluster: ClusterConfig,
+                 optimizer_config: OptimizerConfig | None = None):
+        config = optimizer_config or OptimizerConfig()
+        config = replace(config, search="blockwise", strategy="none")
+        super().__init__(cluster, config, ExecutionPolicy.pbdr())

@@ -1,0 +1,94 @@
+"""ReMac engines: block-wise search plus an elimination strategy.
+
+``ReMacEngine`` is the full system (adaptive elimination over a cost graph,
+MNC estimator by default). The strategy variants expose the §6.3.1
+comparison points: ``conservative``, ``aggressive``, and ``automatic``
+(blind application of everything found, §6.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..config import ClusterConfig, OptimizerConfig
+from ..runtime.hybrid import ExecutionPolicy
+from .base import Engine
+
+
+class ReMacEngine(Engine):
+    """Full ReMac: automatic search + adaptive elimination."""
+
+    name = "remac"
+
+    def __init__(self, cluster: ClusterConfig,
+                 optimizer_config: OptimizerConfig | None = None,
+                 estimator: str | None = None, combiner: str | None = None):
+        config = optimizer_config or OptimizerConfig()
+        overrides = {"search": "blockwise", "strategy": "adaptive"}
+        if estimator is not None:
+            overrides["estimator"] = estimator
+        if combiner is not None:
+            overrides["combiner"] = combiner
+        config = replace(config, **overrides)
+        super().__init__(cluster, config, ExecutionPolicy.systemds())
+
+
+class _StrategyVariant(Engine):
+    strategy = "none"
+
+    def __init__(self, cluster: ClusterConfig,
+                 optimizer_config: OptimizerConfig | None = None):
+        config = optimizer_config or OptimizerConfig()
+        config = replace(config, search="blockwise", strategy=self.strategy)
+        super().__init__(cluster, config, ExecutionPolicy.systemds())
+
+
+class ConservativeEngine(_StrategyVariant):
+    """Apply only options that follow the original execution order."""
+
+    name = "remac-conservative"
+    strategy = "conservative"
+
+
+class AggressiveEngine(_StrategyVariant):
+    """Apply as many options as possible, order-changing ones first."""
+
+    name = "remac-aggressive"
+    strategy = "aggressive"
+
+
+class AutomaticEngine(_StrategyVariant):
+    """Blind automatic elimination: every found option that fits (§6.2.2)."""
+
+    name = "remac-automatic"
+    strategy = "automatic"
+
+
+class ReMacOnPbdREngine(Engine):
+    """ReMac's optimizer migrated onto the pbdR-style substrate.
+
+    §5/§8: "since the techniques are independent with execution engines, it
+    is possible to integrate our work into other systems". The optimizer's
+    cost model prices plans under the always-distributed dense policy, so
+    its decisions adapt to the foreign engine's cost structure.
+    """
+
+    name = "remac-pbdr"
+
+    def __init__(self, cluster: ClusterConfig,
+                 optimizer_config: OptimizerConfig | None = None):
+        config = optimizer_config or OptimizerConfig()
+        config = replace(config, search="blockwise", strategy="adaptive")
+        super().__init__(cluster, config, ExecutionPolicy.pbdr())
+
+
+class ReMacOnSciDBEngine(Engine):
+    """ReMac's optimizer migrated onto the SciDB-style substrate."""
+
+    name = "remac-scidb"
+
+    def __init__(self, cluster: ClusterConfig,
+                 optimizer_config: OptimizerConfig | None = None):
+        config = optimizer_config or OptimizerConfig()
+        config = replace(config, search="blockwise", strategy="adaptive")
+        super().__init__(cluster, config, ExecutionPolicy.scidb())

@@ -1,0 +1,28 @@
+"""SciDB-style engine (§6.4's array-database comparator).
+
+SciDB keeps every operator distributed and "does not support multiplying a
+sparse matrix by a dense matrix" (§6.4) — mixed products densify the sparse
+operand first. Building a sparse array requires a costly ``redimension``
+(§6.5), modelled as the sequential ingest surcharge when
+``charge_partition`` is on. No redundancy elimination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..config import ClusterConfig, OptimizerConfig
+from ..runtime.hybrid import ExecutionPolicy
+from .base import Engine
+
+
+class SciDBEngine(Engine):
+    """Always-distributed array engine without mixed sparse products."""
+
+    name = "scidb"
+
+    def __init__(self, cluster: ClusterConfig,
+                 optimizer_config: OptimizerConfig | None = None):
+        config = optimizer_config or OptimizerConfig()
+        config = replace(config, search="blockwise", strategy="none")
+        super().__init__(cluster, config, ExecutionPolicy.scidb())

@@ -1,0 +1,51 @@
+"""SPORES-style engine: sampled implicit-CSE search atop SystemDS.
+
+Uses the sampled-saturation search of :mod:`repro.core.spores` (bounded
+permutation attempts, CSE only, no LSE) and applies whatever it finds.
+Programs with chains longer than the implementation supports raise —
+callers fall back to the paper's "partial DFP" workload, the longest
+subexpression SPORES handles (§6.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..config import ClusterConfig, OptimizerConfig
+from ..core.chains import build_chains
+from ..core.spores import supports_program
+from ..errors import OptimizerError
+from ..lang.program import Program
+from ..lang.typecheck import Environment
+from ..runtime.hybrid import ExecutionPolicy
+from ..runtime.plan import CompiledProgram
+from .base import Engine
+
+
+class SporesEngine(Engine):
+    """Sampled equality-saturation baseline."""
+
+    name = "spores"
+
+    def __init__(self, cluster: ClusterConfig,
+                 optimizer_config: OptimizerConfig | None = None,
+                 max_chain_length: int = 7, mmchain_col_limit: int = 512):
+        config = optimizer_config or OptimizerConfig()
+        config = replace(config, search="spores", strategy="automatic")
+        # SPORES leans on SystemDS's fused mmchain operator to execute
+        # three-matrix chains efficiently — with its column-count constraint
+        # (the §6.2.2 cri3 failure: 15K columns exceed the 1K default; the
+        # mini-scale equivalent is 512).
+        policy = ExecutionPolicy(mmchain_col_limit=mmchain_col_limit)
+        super().__init__(cluster, config, policy)
+        self.max_chain_length = max_chain_length
+
+    def compile(self, program: Program, inputs: Environment,
+                input_data: dict | None = None,
+                iterations: int | None = None) -> CompiledProgram:
+        chains = build_chains(program, inputs, iterations)
+        if not supports_program(chains, self.max_chain_length):
+            raise OptimizerError(
+                "the SPORES implementation does not support chains this long; "
+                "use the partial-DFP workload (§6.2.1)")
+        return super().compile(program, inputs, input_data, iterations)

@@ -1,0 +1,45 @@
+"""SystemDS-style engines: the dataflow baseline (§5, §6).
+
+Two variants, matching the paper's labels:
+
+* :class:`SystemDSEngine` (``SystemDS``) — hybrid local/distributed
+  execution, optimal chain ordering, and *explicit CSE only* (identical
+  subtrees). Explicit CSE is applied unconditionally, before order
+  optimization — which is why it can hurt (the BFGS rows of Fig. 8(b)):
+  materializing a shared subtree forces it as a unit in the surrounding
+  chain order.
+* :class:`SystemDSStarEngine` (``SystemDS*``) — the same engine with CSE
+  disabled entirely (the paper's SystemDS* reference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..config import ClusterConfig, OptimizerConfig
+from ..runtime.hybrid import ExecutionPolicy
+from .base import Engine
+
+
+class SystemDSEngine(Engine):
+    """SystemDS: hybrid execution with explicit CSE."""
+
+    name = "systemds"
+
+    def __init__(self, cluster: ClusterConfig,
+                 optimizer_config: OptimizerConfig | None = None):
+        config = optimizer_config or OptimizerConfig()
+        config = replace(config, search="explicit", strategy="automatic")
+        super().__init__(cluster, config, ExecutionPolicy.systemds())
+
+
+class SystemDSStarEngine(Engine):
+    """SystemDS*: CSE and LSE disabled (plain optimal chain orders)."""
+
+    name = "systemds*"
+
+    def __init__(self, cluster: ClusterConfig,
+                 optimizer_config: OptimizerConfig | None = None):
+        config = optimizer_config or OptimizerConfig()
+        config = replace(config, search="blockwise", strategy="none")
+        super().__init__(cluster, config, ExecutionPolicy.systemds())

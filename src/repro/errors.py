@@ -1,0 +1,67 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one type at an API boundary. The subclasses mirror the pipeline
+stages: parsing, type checking, planning/optimization, and execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParseError(ReproError):
+    """A script could not be tokenized or parsed.
+
+    Carries ``line`` and ``column`` (1-based) of the offending token when
+    available.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class ShapeError(ReproError):
+    """Operand shapes are incompatible for an operator."""
+
+
+class TypeCheckError(ReproError):
+    """A program references undefined symbols or mixes types illegally."""
+
+
+class PlanError(ReproError):
+    """A logical plan could not be converted to a physical plan."""
+
+
+class OptimizerError(ReproError):
+    """The optimizer reached an inconsistent state (internal invariant)."""
+
+
+class ExecutionError(ReproError):
+    """The simulated runtime failed while executing a physical plan."""
+
+
+class MemoryBudgetError(ExecutionError):
+    """An operator required more memory than the configured budget allows."""
+
+
+class SearchBudgetExceeded(ReproError):
+    """A search baseline (e.g. tree-wise) exceeded its safety budget.
+
+    The tree-wise baseline enumerates full plan trees, which is exponential;
+    benchmarks cap it and report the cap being hit, as the paper reports
+    ">8 hours" for DFP/BFGS.
+    """
+
+    def __init__(self, message: str, explored: int = 0):
+        super().__init__(message)
+        self.explored = explored

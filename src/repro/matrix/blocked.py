@@ -1,0 +1,339 @@
+"""Blocked (tiled) matrices: the distributed representation.
+
+A :class:`BlockedMatrix` is an R x C logical matrix cut into a grid of
+``block_size`` x ``block_size`` tiles, stored in a dict keyed by grid
+coordinates; missing keys are all-zero tiles. This mirrors SystemDS/Spark's
+``(MatrixIndexes, MatrixBlock)`` RDDs (the paper inherits 1000x1000 blocks;
+we default to a smaller tile so laptop-scale datasets still produce
+multi-block grids).
+
+The arithmetic here is *logical* — correct values computed with NumPy/SciPy.
+Distribution effects (which worker holds which block, what a multiply
+shuffles) are the runtime's business; it consumes the grid structure exposed
+here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+from scipy import sparse
+
+from ..errors import ShapeError
+from .block import Block
+from .meta import MatrixMeta
+
+DEFAULT_BLOCK_SIZE = 512
+
+
+class BlockedMatrix:
+    """A matrix partitioned into fixed-size square blocks."""
+
+    def __init__(self, rows: int, cols: int, block_size: int = DEFAULT_BLOCK_SIZE,
+                 blocks: dict[tuple[int, int], Block] | None = None,
+                 symmetric: bool = False):
+        if rows <= 0 or cols <= 0:
+            raise ShapeError(f"matrix dimensions must be positive, got {rows}x{cols}")
+        if block_size <= 0:
+            raise ShapeError(f"block size must be positive, got {block_size}")
+        self.rows = rows
+        self.cols = cols
+        self.block_size = block_size
+        self.blocks: dict[tuple[int, int], Block] = blocks if blocks is not None else {}
+        self.symmetric = symmetric
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_numpy(cls, array: np.ndarray, block_size: int = DEFAULT_BLOCK_SIZE,
+                   symmetric: bool = False) -> "BlockedMatrix":
+        array = np.atleast_2d(np.asarray(array, dtype=np.float64))
+        rows, cols = array.shape
+        result = cls(rows, cols, block_size, symmetric=symmetric)
+        for bi in range(result.row_blocks):
+            for bj in range(result.col_blocks):
+                tile = array[bi * block_size:(bi + 1) * block_size,
+                             bj * block_size:(bj + 1) * block_size]
+                if np.any(tile):
+                    result.blocks[(bi, bj)] = Block(tile.copy()).normalized()
+        return result
+
+    @classmethod
+    def from_scipy(cls, matrix: sparse.spmatrix, block_size: int = DEFAULT_BLOCK_SIZE,
+                   symmetric: bool = False) -> "BlockedMatrix":
+        matrix = matrix.tocsr()
+        rows, cols = matrix.shape
+        result = cls(rows, cols, block_size, symmetric=symmetric)
+        for bi in range(result.row_blocks):
+            row_slab = matrix[bi * block_size:(bi + 1) * block_size, :]
+            if row_slab.nnz == 0:
+                continue
+            slab_csc = row_slab.tocsc()
+            for bj in range(result.col_blocks):
+                tile = slab_csc[:, bj * block_size:(bj + 1) * block_size]
+                if tile.nnz:
+                    result.blocks[(bi, bj)] = Block(tile.tocsr()).normalized()
+        return result
+
+    @classmethod
+    def from_any(cls, data, block_size: int = DEFAULT_BLOCK_SIZE,
+                 symmetric: bool = False) -> "BlockedMatrix":
+        if isinstance(data, BlockedMatrix):
+            return data
+        if sparse.issparse(data):
+            return cls.from_scipy(data, block_size, symmetric)
+        return cls.from_numpy(np.asarray(data), block_size, symmetric)
+
+    @classmethod
+    def scalar(cls, value: float, block_size: int = DEFAULT_BLOCK_SIZE) -> "BlockedMatrix":
+        return cls.from_numpy(np.array([[float(value)]]), block_size)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.rows, self.cols
+
+    @property
+    def row_blocks(self) -> int:
+        return math.ceil(self.rows / self.block_size)
+
+    @property
+    def col_blocks(self) -> int:
+        return math.ceil(self.cols / self.block_size)
+
+    @property
+    def grid(self) -> tuple[int, int]:
+        return self.row_blocks, self.col_blocks
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of grid cells (including implicit zero blocks)."""
+        return self.row_blocks * self.col_blocks
+
+    @property
+    def nnz(self) -> int:
+        return sum(block.nnz for block in self.blocks.values())
+
+    @property
+    def sparsity(self) -> float:
+        cells = self.rows * self.cols
+        return self.nnz / cells if cells else 0.0
+
+    @property
+    def is_scalar_like(self) -> bool:
+        return self.rows == 1 and self.cols == 1
+
+    def meta(self) -> MatrixMeta:
+        """Observed metadata (true sparsity, not an estimate)."""
+        return MatrixMeta(self.rows, self.cols, self.sparsity, symmetric=self.symmetric)
+
+    def serialized_bytes(self) -> float:
+        """Total wire size over materialized blocks."""
+        return sum(block.serialized_bytes() for block in self.blocks.values())
+
+    def block_dims(self, bi: int, bj: int) -> tuple[int, int]:
+        """Dimensions of grid tile (bi, bj), accounting for ragged edges."""
+        height = min(self.block_size, self.rows - bi * self.block_size)
+        width = min(self.block_size, self.cols - bj * self.block_size)
+        return height, width
+
+    def block_at(self, bi: int, bj: int) -> Block | None:
+        """The stored block at a grid position, or None if all-zero."""
+        return self.blocks.get((bi, bj))
+
+    def iter_blocks(self) -> Iterator[tuple[tuple[int, int], Block]]:
+        return iter(self.blocks.items())
+
+    def scalar_value(self) -> float:
+        """The single cell of a 1x1 matrix."""
+        if not self.is_scalar_like:
+            raise ShapeError(f"matrix is {self.rows}x{self.cols}, not scalar")
+        block = self.blocks.get((0, 0))
+        if block is None:
+            return 0.0
+        return float(block.to_dense_array()[0, 0])
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def to_numpy(self) -> np.ndarray:
+        out = np.zeros((self.rows, self.cols))
+        size = self.block_size
+        for (bi, bj), block in self.blocks.items():
+            h, w = block.shape
+            out[bi * size:bi * size + h, bj * size:bj * size + w] = block.to_dense_array()
+        return out
+
+    # ------------------------------------------------------------------
+    # Logical arithmetic (used by the executor's kernels)
+    # ------------------------------------------------------------------
+    def transpose(self) -> "BlockedMatrix":
+        result = BlockedMatrix(self.cols, self.rows, self.block_size,
+                               symmetric=self.symmetric)
+        for (bi, bj), block in self.blocks.items():
+            result.blocks[(bj, bi)] = block.transpose()
+        return result
+
+    def matmul(self, other: "BlockedMatrix") -> "BlockedMatrix":
+        if self.cols != other.rows:
+            raise ShapeError(
+                f"matmul shape mismatch: {self.rows}x{self.cols} @ {other.rows}x{other.cols}")
+        if self.block_size != other.block_size:
+            raise ShapeError("matmul requires operands with identical block sizes")
+        result = BlockedMatrix(self.rows, other.cols, self.block_size)
+        # Group right-operand blocks by their row-block index so we only touch
+        # compatible pairs (a sparse-grid join on the inner dimension).
+        right_by_row: dict[int, list[tuple[int, Block]]] = {}
+        for (bk, bj), block in other.blocks.items():
+            right_by_row.setdefault(bk, []).append((bj, block))
+        partials: dict[tuple[int, int], Block] = {}
+        for (bi, bk), left_block in self.blocks.items():
+            for bj, right_block in right_by_row.get(bk, ()):
+                product = left_block.matmul(right_block)
+                key = (bi, bj)
+                if key in partials:
+                    partials[key] = partials[key].add(product)
+                else:
+                    partials[key] = product
+        for key, block in partials.items():
+            if not block.is_zero():
+                result.blocks[key] = block.normalized()
+        return result
+
+    def _zip(self, other: "BlockedMatrix", op_name: str) -> "BlockedMatrix":
+        if self.shape != other.shape:
+            raise ShapeError(
+                f"cell-wise shape mismatch: {self.rows}x{self.cols} vs "
+                f"{other.rows}x{other.cols}")
+        result = BlockedMatrix(self.rows, self.cols, self.block_size)
+        keys = set(self.blocks) | set(other.blocks)
+        for key in keys:
+            left = self.blocks.get(key)
+            right = other.blocks.get(key)
+            if left is None and right is None:
+                continue
+            if left is None:
+                left = _zero_like(self, key)
+            if right is None:
+                if op_name in ("multiply",):
+                    continue  # x * 0 == 0
+                right = _zero_like(other, key)
+            block = getattr(left, op_name)(right)
+            if not block.is_zero():
+                result.blocks[key] = block.normalized()
+        return result
+
+    def add(self, other: "BlockedMatrix") -> "BlockedMatrix":
+        return self._zip(other, "add")
+
+    def subtract(self, other: "BlockedMatrix") -> "BlockedMatrix":
+        return self._zip(other, "subtract")
+
+    def multiply(self, other: "BlockedMatrix") -> "BlockedMatrix":
+        return self._zip(other, "multiply")
+
+    def divide(self, other: "BlockedMatrix") -> "BlockedMatrix":
+        return self._zip(other, "divide")
+
+    def scale(self, scalar: float) -> "BlockedMatrix":
+        result = BlockedMatrix(self.rows, self.cols, self.block_size,
+                               symmetric=self.symmetric)
+        if scalar == 0.0:
+            return result
+        for key, block in self.blocks.items():
+            result.blocks[key] = block.scale(scalar)
+        return result
+
+    def add_scalar(self, scalar: float) -> "BlockedMatrix":
+        if scalar == 0.0:
+            return self
+        result = BlockedMatrix(self.rows, self.cols, self.block_size,
+                               symmetric=self.symmetric)
+        for bi in range(self.row_blocks):
+            for bj in range(self.col_blocks):
+                block = self.blocks.get((bi, bj))
+                if block is None:
+                    block = _zero_like(self, (bi, bj))
+                result.blocks[(bi, bj)] = block.add_scalar(scalar)
+        return result
+
+    def negate(self) -> "BlockedMatrix":
+        result = BlockedMatrix(self.rows, self.cols, self.block_size,
+                               symmetric=self.symmetric)
+        for key, block in self.blocks.items():
+            result.blocks[key] = block.negate()
+        return result
+
+    def sum(self) -> float:
+        return sum(block.sum() for block in self.blocks.values())
+
+    def map_cells(self, func, preserves_zero: bool) -> "BlockedMatrix":
+        """Apply ``func`` cell-wise.
+
+        Zero-preserving maps run on sparse payloads directly; densifying
+        maps (exp, sigmoid) materialize every block, including implicit
+        all-zero ones.
+        """
+        result = BlockedMatrix(self.rows, self.cols, self.block_size,
+                               symmetric=self.symmetric)
+        if preserves_zero:
+            for key, block in self.blocks.items():
+                if block.is_sparse:
+                    mapped = block.data.copy()
+                    mapped.data = func(mapped.data)
+                    result.blocks[key] = Block(mapped).normalized()
+                else:
+                    result.blocks[key] = Block(func(block.data)).normalized()
+            return result
+        for bi in range(self.row_blocks):
+            for bj in range(self.col_blocks):
+                block = self.blocks.get((bi, bj))
+                payload = block.to_dense_array() if block is not None \
+                    else np.zeros(self.block_dims(bi, bj))
+                result.blocks[(bi, bj)] = Block(func(payload))
+        return result
+
+    def row_sums(self) -> "BlockedMatrix":
+        """Column vector of per-row sums."""
+        out = np.zeros((self.rows, 1))
+        size = self.block_size
+        for (bi, _bj), block in self.blocks.items():
+            sums = np.asarray(block.data.sum(axis=1)).reshape(-1, 1)
+            out[bi * size:bi * size + sums.shape[0]] += sums
+        return BlockedMatrix.from_numpy(out, self.block_size)
+
+    def col_sums(self) -> "BlockedMatrix":
+        """Row vector of per-column sums."""
+        out = np.zeros((1, self.cols))
+        size = self.block_size
+        for (_bi, bj), block in self.blocks.items():
+            sums = np.asarray(block.data.sum(axis=0)).reshape(1, -1)
+            out[:, bj * size:bj * size + sums.shape[1]] += sums
+        return BlockedMatrix.from_numpy(out, self.block_size)
+
+    def diagonal(self) -> "BlockedMatrix":
+        """The main diagonal of a square matrix, as a column vector."""
+        if self.rows != self.cols:
+            raise ShapeError(f"diagonal of a non-square {self.rows}x{self.cols} matrix")
+        out = np.zeros((self.rows, 1))
+        size = self.block_size
+        for (bi, bj), block in self.blocks.items():
+            if bi != bj:
+                continue
+            diag = block.to_dense_array().diagonal().reshape(-1, 1)
+            out[bi * size:bi * size + diag.shape[0]] = diag
+        return BlockedMatrix.from_numpy(out, self.block_size)
+
+    def __repr__(self) -> str:
+        return (f"BlockedMatrix({self.rows}x{self.cols}, block={self.block_size}, "
+                f"grid={self.row_blocks}x{self.col_blocks}, nnz={self.nnz})")
+
+
+def _zero_like(matrix: BlockedMatrix, key: tuple[int, int]) -> Block:
+    h, w = matrix.block_dims(*key)
+    return Block(np.zeros((h, w)))

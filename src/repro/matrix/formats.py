@@ -1,0 +1,66 @@
+"""Storage-format selection and serialized-size model.
+
+Follows the SystemDS policy quoted in §4.2 of the paper: a matrix (or block)
+is stored dense when its sparsity exceeds 0.4; compressed sparse rows (CSR)
+between 0.0004 and 0.4; and ultra-sparse COO below 0.0004. The serialized
+size drives every transmission cost (`size(V)` in Eqs. 5-6): for CSR it is
+``alpha * S + beta`` — linear in sparsity (values + column indexes) plus a
+constant part (row pointers and header), exactly the decomposition in §4.2.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from .meta import DOUBLE_BYTES, MatrixMeta
+
+#: Sparsity above which a dense layout is smaller/faster (SystemDS default).
+DENSE_THRESHOLD = 0.4
+#: Sparsity below which COO (ultra-sparse) beats CSR.
+ULTRA_SPARSE_THRESHOLD = 0.0004
+#: Bytes per CSR column index (int32).
+CSR_INDEX_BYTES = 4
+#: Bytes per CSR row pointer (int64 as in SystemDS block headers).
+CSR_ROW_POINTER_BYTES = 8
+#: Bytes per COO entry beyond the value: row + column indexes.
+COO_INDEX_BYTES = 8
+#: Fixed per-matrix header (dimensions, nnz, format tag).
+HEADER_BYTES = 64
+
+
+class StorageFormat(Enum):
+    """Physical layout of a matrix or matrix block."""
+
+    DENSE = "dense"
+    CSR = "csr"
+    COO = "coo"
+
+
+def choose_format(sparsity: float) -> StorageFormat:
+    """Pick the storage format SystemDS would use for this sparsity."""
+    if sparsity > DENSE_THRESHOLD:
+        return StorageFormat.DENSE
+    if sparsity > ULTRA_SPARSE_THRESHOLD:
+        return StorageFormat.CSR
+    return StorageFormat.COO
+
+
+def size_in_bytes(meta: MatrixMeta, fmt: StorageFormat | None = None) -> float:
+    """Serialized size of a matrix with the given metadata.
+
+    ``fmt`` overrides the automatic format choice (used when a system is
+    forced dense, e.g. the pbdR engine treats sparse matrices as dense).
+    """
+    fmt = fmt or choose_format(meta.sparsity)
+    if fmt is StorageFormat.DENSE:
+        return HEADER_BYTES + meta.cells * DOUBLE_BYTES
+    if fmt is StorageFormat.CSR:
+        alpha = meta.cells * (DOUBLE_BYTES + CSR_INDEX_BYTES)
+        beta = meta.rows * CSR_ROW_POINTER_BYTES + HEADER_BYTES
+        return alpha * meta.sparsity + beta
+    return HEADER_BYTES + meta.nnz * (DOUBLE_BYTES + COO_INDEX_BYTES)
+
+
+def dense_size_in_bytes(meta: MatrixMeta) -> float:
+    """Size if stored dense regardless of sparsity."""
+    return size_in_bytes(meta, StorageFormat.DENSE)

@@ -1,0 +1,65 @@
+"""Closed-form sparsity propagation rules under the uniform assumption.
+
+These are the metadata-based estimator formulas used by SystemDS's optimizer
+[Boehm et al., 2014]: non-zeros are assumed uniformly distributed, so output
+sparsity follows from input sparsities and shapes alone. The type checker
+uses them for default propagation, and :class:`repro.core.sparsity.metadata.
+MetadataEstimator` delegates here — the paper's "efficient but possibly
+misleading" estimator (§4.2).
+"""
+
+from __future__ import annotations
+
+
+def clamp(sparsity: float) -> float:
+    """Clamp a sparsity value into [0, 1]."""
+    return min(1.0, max(0.0, sparsity))
+
+
+def matmul_sparsity(sp_left: float, sp_right: float, inner_dim: int) -> float:
+    """Sparsity of ``A @ B`` with inner dimension ``inner_dim``.
+
+    A result cell is non-zero unless all ``inner_dim`` products vanish:
+    ``1 - (1 - sA*sB)^k``. This is exact in expectation for independent
+    uniform non-zeros and is what SystemDS's metadata estimator uses.
+    """
+    if inner_dim <= 0:
+        return 0.0
+    product = clamp(sp_left) * clamp(sp_right)
+    if product == 0.0:
+        return 0.0
+    if product == 1.0:
+        return 1.0
+    return clamp(1.0 - (1.0 - product) ** inner_dim)
+
+
+def add_sparsity(sp_left: float, sp_right: float) -> float:
+    """Sparsity of a cell-wise add/subtract: union of supports."""
+    left = clamp(sp_left)
+    right = clamp(sp_right)
+    return clamp(left + right - left * right)
+
+
+def mul_sparsity(sp_left: float, sp_right: float) -> float:
+    """Sparsity of a cell-wise multiply: intersection of supports."""
+    return clamp(sp_left) * clamp(sp_right)
+
+
+def div_sparsity(sp_left: float, sp_right: float) -> float:
+    """Sparsity of cell-wise division: numerator support (denominator dense).
+
+    Division by a sparse matrix produces NaN/Inf in the zero cells; the
+    workloads here only divide by scalars or dense denominators, so the
+    numerator's support is the right estimate.
+    """
+    del sp_right
+    return clamp(sp_left)
+
+
+def scalar_op_sparsity(sp: float, preserves_zero: bool) -> float:
+    """Sparsity after applying a scalar to every cell.
+
+    Multiplying by a non-zero scalar preserves the support; adding a non-zero
+    scalar densifies the matrix.
+    """
+    return clamp(sp) if preserves_zero else 1.0

@@ -1,0 +1,26 @@
+"""Distributed runtime: physical operators, hybrid dispatch, executor."""
+
+from .executor import Executor
+from .hybrid import (
+    BMM,
+    BMM_FLIPPED,
+    CPMM,
+    LOCAL,
+    ExecutionPolicy,
+    MatMulDecision,
+    decide_ewise,
+    decide_matmul,
+    decide_transpose,
+    value_distributed,
+)
+from .physical import Kernels, Value, placement_imbalance
+from .plan import CompiledProgram
+
+__all__ = [
+    "Executor",
+    "ExecutionPolicy", "MatMulDecision",
+    "decide_matmul", "decide_ewise", "decide_transpose", "value_distributed",
+    "LOCAL", "BMM", "BMM_FLIPPED", "CPMM",
+    "Kernels", "Value", "placement_imbalance",
+    "CompiledProgram",
+]

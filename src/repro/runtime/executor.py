@@ -1,0 +1,220 @@
+"""The executor: runs programs on the simulated cluster.
+
+Walks the (possibly rewritten) AST statement by statement, dispatching each
+operator through :class:`~repro.runtime.physical.Kernels`, which computes
+real values and advances the simulated clock. ``while`` loops genuinely
+evaluate their scalar conditions, bounded by the loop's ``max_iterations``.
+
+Transposes directly under a multiplication are *fused* (executed
+block-locally inside the multiply, SystemDS-style); only materialized
+transposes pay the distributed re-key shuffle.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..config import ClusterConfig
+from ..cluster.metrics import MetricsCollector
+from ..errors import ExecutionError
+from ..lang.ast import (
+    Add,
+    Call,
+    Compare,
+    ElemDiv,
+    ElemMul,
+    Expr,
+    Literal,
+    MatMul,
+    MatrixRef,
+    Neg,
+    ScalarRef,
+    Sub,
+    Transpose,
+)
+from ..lang.program import Assign, Program, Statement, WhileLoop
+from .hybrid import ExecutionPolicy
+from .physical import Kernels, Value
+from .plan import CompiledProgram
+
+_COMPARISONS = {
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+_SCALAR_MATH = {
+    "sqrt": math.sqrt,
+    "abs": abs,
+    "exp": math.exp,
+    "log": math.log,
+    "sigmoid": lambda x: 1.0 / (1.0 + math.exp(-x)),
+}
+
+
+class Executor:
+    """Executes programs against a simulated cluster configuration."""
+
+    def __init__(self, config: ClusterConfig, policy: ExecutionPolicy | None = None,
+                 metrics: MetricsCollector | None = None):
+        self.config = config
+        self.kernels = Kernels(config, policy, metrics)
+        self.metrics = self.kernels.metrics
+        #: Iterations executed per loop on the last run, for reporting.
+        self.loop_iterations: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Program entry points
+    # ------------------------------------------------------------------
+    def run(self, program: Program | CompiledProgram, inputs: dict[str, object],
+            symmetric: set[str] | frozenset[str] = frozenset(),
+            charge_partition: bool = False) -> dict[str, Value]:
+        """Execute ``program`` with the given input bindings.
+
+        ``inputs`` values may be NumPy arrays, SciPy sparse matrices,
+        :class:`~repro.matrix.blocked.BlockedMatrix`, or plain floats
+        (scalars). ``symmetric`` names inputs known to be symmetric.
+        Returns the final environment of all variables.
+        """
+        if isinstance(program, CompiledProgram):
+            program = program.program
+        env: dict[str, Value] = {}
+        for name, data in inputs.items():
+            if isinstance(data, (int, float)):
+                env[name] = self.kernels.from_scalar(float(data))
+            else:
+                env[name] = self.kernels.load(name, data, symmetric=name in symmetric,
+                                              charge_partition=charge_partition)
+        env["__always__"] = self.kernels.from_scalar(1.0)
+        self.loop_iterations = []
+        self._run_block(program.statements, env)
+        return env
+
+    def _run_block(self, statements: list[Statement] | tuple[Statement, ...],
+                   env: dict[str, Value]) -> None:
+        for stmt in statements:
+            if isinstance(stmt, Assign):
+                env[stmt.target] = self.evaluate(stmt.expr, env)
+            elif isinstance(stmt, WhileLoop):
+                self._run_loop(stmt, env)
+            else:  # pragma: no cover - defensive
+                raise ExecutionError(f"unknown statement type {type(stmt).__name__}")
+
+    def _run_loop(self, loop: WhileLoop, env: dict[str, Value]) -> None:
+        iterations = 0
+        while iterations < loop.max_iterations:
+            condition = self.evaluate(loop.condition, env)
+            if not condition.is_scalar:
+                raise ExecutionError("loop condition did not evaluate to a scalar")
+            if condition.scalar_value() == 0.0:
+                break
+            self._run_block(loop.body, env)
+            iterations += 1
+        self.loop_iterations.append(iterations)
+
+    # ------------------------------------------------------------------
+    # Expression evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, expr: Expr, env: dict[str, Value]) -> Value:
+        """Evaluate one expression to a :class:`Value`."""
+        if isinstance(expr, (MatrixRef, ScalarRef)):
+            try:
+                return env[expr.name]
+            except KeyError:
+                raise ExecutionError(f"undefined variable {expr.name!r}") from None
+        if isinstance(expr, Literal):
+            return self.kernels.from_scalar(expr.value)
+        if isinstance(expr, MatMul):
+            return self._eval_matmul(expr, env)
+        if isinstance(expr, Transpose):
+            inner = self.evaluate(expr.child, env)
+            if inner.is_scalar:
+                return inner
+            return self.kernels.transpose(inner)
+        if isinstance(expr, Add):
+            return self.kernels.add(self.evaluate(expr.left, env),
+                                    self.evaluate(expr.right, env))
+        if isinstance(expr, Sub):
+            return self.kernels.subtract(self.evaluate(expr.left, env),
+                                         self.evaluate(expr.right, env))
+        if isinstance(expr, ElemMul):
+            return self.kernels.multiply(self.evaluate(expr.left, env),
+                                         self.evaluate(expr.right, env))
+        if isinstance(expr, ElemDiv):
+            return self.kernels.divide(self.evaluate(expr.left, env),
+                                       self.evaluate(expr.right, env))
+        if isinstance(expr, Neg):
+            return self.kernels.negate(self.evaluate(expr.child, env))
+        if isinstance(expr, Compare):
+            return self._eval_compare(expr, env)
+        if isinstance(expr, Call):
+            return self._eval_call(expr, env)
+        raise ExecutionError(f"cannot execute expression node {type(expr).__name__}")
+
+    def _eval_matmul(self, expr: MatMul, env: dict[str, Value]) -> Value:
+        fused = self._try_mmchain(expr, env)
+        if fused is not None:
+            return fused
+        left_expr, left_fused = _unwrap_transpose(expr.left)
+        right_expr, right_fused = _unwrap_transpose(expr.right)
+        left = self.evaluate(left_expr, env)
+        right = self.evaluate(right_expr, env)
+        # Degenerate 1x1 "matmul" behaves as scalar multiplication.
+        if left.is_scalar and right.is_scalar:
+            return self.kernels.from_scalar(left.scalar_value() * right.scalar_value())
+        return self.kernels.matmul(left, right, left_transposed=left_fused,
+                                   right_transposed=right_fused)
+
+    def _try_mmchain(self, expr: MatMul, env: dict[str, Value]) -> Value | None:
+        """Fuse ``t(X) %*% (X %*% v)`` when the policy's mmchain allows it."""
+        if not isinstance(expr.left, Transpose):
+            return None
+        if not isinstance(expr.right, MatMul):
+            return None
+        if expr.left.child != expr.right.left:
+            return None
+        x = self.evaluate(expr.left.child, env)
+        if not self.kernels.policy.mmchain_applicable_cols(x.meta.cols):
+            return None
+        v = self.evaluate(expr.right.right, env)
+        if v.is_scalar or x.is_scalar:
+            return None
+        return self.kernels.mmchain(x, v)
+
+    def _eval_compare(self, expr: Compare, env: dict[str, Value]) -> Value:
+        left = self.evaluate(expr.left, env)
+        right = self.evaluate(expr.right, env)
+        if not (left.is_scalar and right.is_scalar):
+            raise ExecutionError("comparisons require scalar operands")
+        outcome = _COMPARISONS[expr.op](left.scalar_value(), right.scalar_value())
+        return self.kernels.from_scalar(1.0 if outcome else 0.0)
+
+    def _eval_call(self, expr: Call, env: dict[str, Value]) -> Value:
+        arg = self.evaluate(expr.args[0], env)
+        if expr.func == "sum":
+            return self.kernels.aggregate_sum(arg)
+        if expr.func == "norm":
+            return self.kernels.aggregate_norm(arg)
+        if expr.func == "trace":
+            return self.kernels.aggregate_trace(arg)
+        if expr.func == "nrow":
+            return self.kernels.from_scalar(float(arg.meta.rows))
+        if expr.func == "ncol":
+            return self.kernels.from_scalar(float(arg.meta.cols))
+        if expr.func in ("rowsums", "colsums", "diag"):
+            return self.kernels.structural(arg, expr.func)
+        if expr.func in _SCALAR_MATH and arg.is_scalar:
+            return self.kernels.from_scalar(_SCALAR_MATH[expr.func](arg.scalar_value()))
+        if expr.func in self.kernels._CELLWISE:
+            return self.kernels.map_cells(arg, expr.func)
+        raise ExecutionError(f"unknown builtin {expr.func!r}")
+
+
+def _unwrap_transpose(expr: Expr) -> tuple[Expr, bool]:
+    """Peel one transpose for fusion into an adjacent multiply."""
+    if isinstance(expr, Transpose):
+        return expr.child, True
+    return expr, False

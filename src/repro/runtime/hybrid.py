@@ -1,0 +1,125 @@
+"""Hybrid local/distributed dispatch decisions.
+
+SystemDS compiles each operator to either the control program (driver) or
+the cluster depending on operand sizes (§5 of the paper credits this hybrid
+execution for SystemDS beating pbdR and SciDB). The functions here make
+those decisions from :class:`~repro.matrix.meta.MatrixMeta` alone, so the
+optimizer's cost model and the runtime take identical branches when their
+metadata agrees.
+
+:class:`ExecutionPolicy` captures the engine-level deviations the paper
+compares against: pbdR runs everything distributed and dense; SciDB runs
+everything distributed and cannot multiply sparse by dense (§6.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ClusterConfig
+from ..cluster.memory import is_broadcastable, is_distributed
+from ..matrix.meta import MatrixMeta
+
+LOCAL = "local"
+BMM = "bmm"            # left distributed, right broadcast
+BMM_FLIPPED = "bmm_flipped"  # right distributed, left broadcast
+CPMM = "cpmm"
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Engine-level execution policy (SystemDS / pbdR / SciDB behaviours)."""
+
+    #: Run every operator distributed, even tiny ones (pbdR, SciDB).
+    always_distributed: bool = False
+    #: Whether broadcast joins (BMM) are available; HPC/array engines use
+    #: partitioned GEMM for everything.
+    allow_broadcast: bool = True
+    #: Store sparse data as dense (pbdR "treats sparse matrices as dense").
+    force_dense: bool = False
+    #: Whether sparse x dense products are supported; if not, sparse
+    #: operands are densified first (SciDB limitation, §6.4).
+    supports_mixed_sparse: bool = True
+    #: Enable the fused ``mmchain`` operator for t(X) %*% (X %*% v)
+    #: patterns, with SystemDS's constraint on the second matrix's column
+    #: count (§6.2.2: "less than 1K in default"; None disables). The
+    #: SPORES engine leans on this fusion ("as a remedy, SPORES depends on
+    #: the fused mmchain operator").
+    mmchain_col_limit: int | None = None
+
+    @classmethod
+    def systemds(cls) -> "ExecutionPolicy":
+        return cls()
+
+    def mmchain_applicable_cols(self, cols: int) -> bool:
+        """Whether mmchain may fuse a chain whose second matrix has ``cols``."""
+        return self.mmchain_col_limit is not None and cols <= self.mmchain_col_limit
+
+    @classmethod
+    def pbdr(cls) -> "ExecutionPolicy":
+        return cls(always_distributed=True, allow_broadcast=False, force_dense=True)
+
+    @classmethod
+    def scidb(cls) -> "ExecutionPolicy":
+        return cls(always_distributed=True, allow_broadcast=False,
+                   supports_mixed_sparse=False)
+
+
+@dataclass(frozen=True)
+class MatMulDecision:
+    """How one matrix multiply executes."""
+
+    impl: str
+    #: Whether the result is collected to the driver (small outputs) rather
+    #: than left distributed (large outputs).
+    output_distributed: bool
+    #: Operand that must be fetched to the driver before broadcasting
+    #: (a distributed-but-small operand), or None.
+    collect_side: str | None = None
+
+
+def value_distributed(meta: MatrixMeta, config: ClusterConfig,
+                      policy: ExecutionPolicy) -> bool:
+    """Whether a value of this size is held as a distributed dataset."""
+    if policy.always_distributed and not config.single_node:
+        return True
+    return is_distributed(meta, config, force_dense=policy.force_dense)
+
+
+def decide_matmul(left: MatrixMeta, right: MatrixMeta, out: MatrixMeta,
+                  config: ClusterConfig, policy: ExecutionPolicy) -> MatMulDecision:
+    """Pick the physical multiply: local, BMM (either side), or CPMM."""
+    left_dist = value_distributed(left, config, policy)
+    right_dist = value_distributed(right, config, policy)
+    out_dist = value_distributed(out, config, policy)
+    if not left_dist and not right_dist:
+        return MatMulDecision(LOCAL, output_distributed=False)
+    if policy.allow_broadcast:
+        force_dense = policy.force_dense
+        if left_dist and is_broadcastable(right, config, force_dense):
+            collect = "right" if right_dist else None
+            return MatMulDecision(BMM, out_dist, collect_side=collect)
+        if right_dist and is_broadcastable(left, config, force_dense):
+            collect = "left" if left_dist else None
+            return MatMulDecision(BMM_FLIPPED, out_dist, collect_side=collect)
+    return MatMulDecision(CPMM, output_distributed=out_dist)
+
+
+def decide_ewise(left: MatrixMeta, right: MatrixMeta, out: MatrixMeta,
+                 config: ClusterConfig, policy: ExecutionPolicy) -> str:
+    """Pick local vs distributed execution for a cell-wise operator.
+
+    A distributed zip with a small local side broadcasts that side; two
+    co-partitioned distributed sides zip without a shuffle.
+    """
+    left_dist = value_distributed(left, config, policy)
+    right_dist = value_distributed(right, config, policy)
+    if not left_dist and not right_dist:
+        return LOCAL
+    return "distributed"
+
+
+def decide_transpose(meta: MatrixMeta, config: ClusterConfig,
+                     policy: ExecutionPolicy) -> str:
+    """Materialized transpose placement (fused transposes bypass this)."""
+    return "distributed" if value_distributed(meta, config, policy) else LOCAL

@@ -1,0 +1,346 @@
+"""Physical operators: execute kernels and charge the simulated clock.
+
+Each kernel does two things, deliberately through the same code path so they
+can never drift apart:
+
+1. computes the *correct value* with NumPy/SciPy block arithmetic, and
+2. advances the simulated cluster clock by pricing the operator via
+   :mod:`repro.runtime.pricing` with the *observed* metadata of the actual
+   operands.
+
+The optimizer's cost model prices the same functions with *estimated*
+metadata; any gap between predicted and charged cost is then attributable
+to the sparsity estimator, which is exactly what §6.3.2 of the paper
+studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ClusterConfig
+from ..cluster.metrics import MetricsCollector
+from ..cluster.network import Network
+from ..errors import ExecutionError
+from ..matrix.blocked import BlockedMatrix
+from ..matrix.formats import DENSE_THRESHOLD
+from ..matrix.meta import MatrixMeta
+from ..matrix.partitioner import worker_of_block
+from . import volumes
+from .hybrid import ExecutionPolicy
+from .pricing import (
+    OpPrice,
+    price_aggregate,
+    price_ewise,
+    price_map,
+    price_matmul,
+    price_persist,
+    price_structural,
+    price_transpose,
+)
+
+
+@dataclass
+class Value:
+    """A runtime value: the actual blocked matrix plus its residency."""
+
+    matrix: BlockedMatrix
+    distributed: bool
+    #: Straggler factor of this value's block placement: max worker bytes /
+    #: mean worker bytes. 1.0 for balanced or local values.
+    imbalance: float = 1.0
+    name: str | None = None
+
+    @property
+    def meta(self) -> MatrixMeta:
+        return self.matrix.meta()
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.matrix.is_scalar_like
+
+    def scalar_value(self) -> float:
+        return self.matrix.scalar_value()
+
+
+def placement_imbalance(matrix: BlockedMatrix, num_workers: int) -> float:
+    """max/mean bytes across workers for this matrix's hash placement."""
+    if num_workers <= 1 or not matrix.blocks:
+        return 1.0
+    totals = [0.0] * num_workers
+    for key, block in matrix.iter_blocks():
+        totals[worker_of_block(*key, num_workers)] += block.serialized_bytes()
+    mean = sum(totals) / num_workers
+    if mean == 0.0:
+        return 1.0
+    return max(totals) / mean
+
+
+class Kernels:
+    """Stateful kernel set bound to one cluster config, policy, and metrics."""
+
+    def __init__(self, config: ClusterConfig, policy: ExecutionPolicy | None = None,
+                 metrics: MetricsCollector | None = None):
+        self.config = config
+        self.policy = policy or ExecutionPolicy.systemds()
+        self.metrics = metrics or MetricsCollector()
+        self.network = Network(config, self.metrics)
+
+    # ------------------------------------------------------------------
+    # Charging helpers
+    # ------------------------------------------------------------------
+    def _charge(self, price: OpPrice) -> None:
+        """Charge an operator's pricing to the metrics collector."""
+        if price.compute_seconds:
+            self.metrics.charge_compute(price.compute_seconds)
+        for primitive, nbytes in price.transmissions:
+            self.network.transmit(primitive, nbytes)
+        self.metrics.count_operator(price.impl)
+
+    def _wrap(self, matrix: BlockedMatrix, distributed: bool,
+              name: str | None = None) -> Value:
+        imbalance = 1.0
+        if distributed:
+            imbalance = placement_imbalance(matrix, self.config.num_workers)
+            self._record_placement(matrix)
+        return Value(matrix, distributed, imbalance, name)
+
+    def _record_placement(self, matrix: BlockedMatrix) -> None:
+        for key, block in matrix.iter_blocks():
+            worker = worker_of_block(*key, self.config.num_workers)
+            self.metrics.record_worker_bytes(worker, block.serialized_bytes())
+
+    # ------------------------------------------------------------------
+    # Input loading
+    # ------------------------------------------------------------------
+    def load(self, name: str, data, symmetric: bool = False,
+             charge_partition: bool = False) -> Value:
+        """Materialize an input dataset, optionally charging ingest time.
+
+        ``charge_partition=True`` reproduces the Fig. 12 "input partition"
+        phase: reading raw data and writing partitioned blocks to DFS.
+        Always-distributed engines (pbdR/SciDB) pay a sequential ingest
+        because they "do not support automatically splitting and
+        partitioning a dataset in parallel" (§6.5).
+        """
+        matrix = BlockedMatrix.from_any(data, block_size=self.config.block_size,
+                                        symmetric=symmetric)
+        meta = matrix.meta()
+        from .hybrid import value_distributed
+        distributed = value_distributed(meta, self.config, self.policy)
+        if charge_partition:
+            nbytes = volumes.matrix_size(meta, self.policy.force_dense)
+            seconds = 2.0 * nbytes / self.config.dfs_bytes_per_sec  # read + write
+            if self.policy.always_distributed:
+                seconds += nbytes / self.config.collect_bytes_per_sec
+                seconds *= self.config.num_workers
+            self.metrics.charge_input_partition(seconds)
+        if not distributed:
+            return Value(matrix, False, 1.0, name)
+        return self._wrap(matrix, True, name)
+
+    def from_scalar(self, value: float) -> Value:
+        return Value(BlockedMatrix.scalar(value, self.config.block_size), False)
+
+    # ------------------------------------------------------------------
+    # Matrix multiplication
+    # ------------------------------------------------------------------
+    def matmul(self, left: Value, right: Value, left_transposed: bool = False,
+               right_transposed: bool = False) -> Value:
+        """Multiply with optional fused transposes on either operand.
+
+        Fused transposes (SystemDS's ``t(X) %*% y`` pattern) transpose
+        blocks worker-locally: they cost FLOP touches but no re-keying
+        shuffle, unlike :meth:`transpose`.
+        """
+        left_meta = left.meta.transposed() if left_transposed else left.meta
+        right_meta = right.meta.transposed() if right_transposed else right.meta
+        left_mat = left.matrix.transpose() if left_transposed else left.matrix
+        right_mat = right.matrix.transpose() if right_transposed else right.matrix
+        left_mat, right_mat = self._coerce_mixed(left_mat, right_mat)
+
+        result = left_mat.matmul(right_mat)
+        out_meta = result.meta()
+        price = price_matmul(left_meta, right_meta, out_meta, self.config, self.policy,
+                             left_fused_transpose=left_transposed,
+                             right_fused_transpose=right_transposed,
+                             imbalance=max(left.imbalance, right.imbalance))
+        self._charge(price)
+        return self._wrap(result, price.output_distributed)
+
+    def mmchain(self, x: Value, v: Value) -> Value:
+        """Fused ``t(X) %*% (X %*% v)`` (SystemDS's mmchain pattern).
+
+        Computed in one distributed pass: the m-sized intermediate Xv stays
+        worker-local. Callers must have checked
+        :meth:`ExecutionPolicy.mmchain_applicable_cols` first.
+        """
+        from .pricing import price_mmchain
+        inner = x.matrix.matmul(v.matrix)
+        result = x.matrix.transpose().matmul(inner)
+        price = price_mmchain(x.meta, v.meta, result.meta(), self.config,
+                              self.policy, imbalance=x.imbalance)
+        self._charge(price)
+        return self._wrap(result, price.output_distributed)
+
+    def _coerce_mixed(self, left_mat: BlockedMatrix,
+                      right_mat: BlockedMatrix) -> tuple[BlockedMatrix, BlockedMatrix]:
+        """Densify sparse operands for engines without mixed products."""
+        if self.policy.supports_mixed_sparse:
+            return left_mat, right_mat
+        left_sparse = left_mat.sparsity <= DENSE_THRESHOLD
+        right_sparse = right_mat.sparsity <= DENSE_THRESHOLD
+        if left_sparse == right_sparse:
+            return left_mat, right_mat
+        target = left_mat if left_sparse else right_mat
+        densified = BlockedMatrix.from_numpy(target.to_numpy(), target.block_size)
+        self.metrics.charge_compute(
+            target.rows * target.cols / self.config.cluster_flops)
+        if left_sparse:
+            return densified, right_mat
+        return left_mat, densified
+
+    # ------------------------------------------------------------------
+    # Cell-wise operators
+    # ------------------------------------------------------------------
+    def _ewise(self, left: Value, right: Value, kind: str) -> Value:
+        op_name = kind
+        if left.is_scalar and not right.is_scalar:
+            return self._scalar_ewise(left.scalar_value(), right, kind, left_side=True)
+        if right.is_scalar and not left.is_scalar:
+            return self._scalar_ewise(right.scalar_value(), left, kind, left_side=False)
+        result = getattr(left.matrix, op_name)(right.matrix)
+        out_meta = result.meta()
+        price = price_ewise(kind, left.meta, right.meta, out_meta, self.config,
+                            self.policy, imbalance=max(left.imbalance, right.imbalance))
+        self._charge(price)
+        return self._wrap(result, price.output_distributed)
+
+    def _scalar_ewise(self, scalar: float, value: Value, kind: str,
+                      left_side: bool) -> Value:
+        matrix = value.matrix
+        if kind == "add":
+            result = matrix.add_scalar(scalar)
+        elif kind == "subtract":
+            result = matrix.negate().add_scalar(scalar) if left_side \
+                else matrix.add_scalar(-scalar)
+        elif kind == "multiply":
+            result = matrix.scale(scalar)
+        elif kind == "divide":
+            if left_side:
+                raise ExecutionError("scalar / matrix is not supported; "
+                                     "zero cells would produce infinities")
+            if scalar == 0.0:
+                raise ExecutionError("division by a zero scalar")
+            result = matrix.scale(1.0 / scalar)
+        else:  # pragma: no cover - defensive
+            raise ExecutionError(f"unknown cell-wise op {kind!r}")
+        price = price_ewise(kind, value.meta, MatrixMeta(1, 1), result.meta(),
+                            self.config, self.policy, imbalance=value.imbalance)
+        self._charge(price)
+        return self._wrap(result, price.output_distributed)
+
+    def add(self, left: Value, right: Value) -> Value:
+        return self._ewise(left, right, "add")
+
+    def subtract(self, left: Value, right: Value) -> Value:
+        return self._ewise(left, right, "subtract")
+
+    def multiply(self, left: Value, right: Value) -> Value:
+        return self._ewise(left, right, "multiply")
+
+    def divide(self, left: Value, right: Value) -> Value:
+        if right.is_scalar and right.scalar_value() == 0.0:
+            raise ExecutionError("division by a zero scalar")
+        return self._ewise(left, right, "divide")
+
+    def negate(self, value: Value) -> Value:
+        result = value.matrix.negate()
+        price = price_ewise("multiply", value.meta, MatrixMeta(1, 1), result.meta(),
+                            self.config, self.policy, imbalance=value.imbalance)
+        self._charge(price)
+        return self._wrap(result, price.output_distributed)
+
+    # ------------------------------------------------------------------
+    # Transpose and aggregates
+    # ------------------------------------------------------------------
+    def transpose(self, value: Value) -> Value:
+        """Materialized transpose: distributed inputs pay a re-key shuffle."""
+        result = value.matrix.transpose()
+        price = price_transpose(value.meta, self.config, self.policy, value.imbalance)
+        self._charge(price)
+        return self._wrap(result, price.output_distributed)
+
+    def aggregate_sum(self, value: Value) -> Value:
+        price = price_aggregate(value.meta, self.config, self.policy, value.imbalance)
+        self._charge(price)
+        return self.from_scalar(value.matrix.sum())
+
+    def aggregate_norm(self, value: Value) -> Value:
+        price = price_aggregate(value.meta, self.config, self.policy, value.imbalance,
+                                flop_multiplier=2.0)
+        self._charge(price)
+        squared = sum(float((b.data.multiply(b.data)).sum()) if b.is_sparse
+                      else float(np.square(b.data).sum())
+                      for _, b in value.matrix.iter_blocks())
+        return self.from_scalar(float(np.sqrt(squared)))
+
+    def aggregate_trace(self, value: Value) -> Value:
+        if value.meta.rows != value.meta.cols:
+            raise ExecutionError("trace of a non-square matrix")
+        price = price_aggregate(value.meta, self.config, self.policy, value.imbalance)
+        self._charge(price)
+        return self.from_scalar(float(np.trace(value.matrix.to_numpy())))
+
+    # ------------------------------------------------------------------
+    # Cell-wise maps and structural reductions
+    # ------------------------------------------------------------------
+    _CELLWISE = {
+        "sqrt": (np.sqrt, True),
+        "abs": (np.abs, True),
+        "log": (np.log, True),
+        "exp": (np.exp, False),
+        "sigmoid": (lambda x: 1.0 / (1.0 + np.exp(-x)), False),
+    }
+
+    def map_cells(self, value: Value, func_name: str) -> Value:
+        """Apply a cell-wise builtin (exp, sqrt, sigmoid, ...)."""
+        try:
+            func, preserves_zero = self._CELLWISE[func_name]
+        except KeyError:
+            raise ExecutionError(f"unknown cell-wise builtin {func_name!r}") from None
+        result = value.matrix.map_cells(func, preserves_zero)
+        price = price_map(value.meta, result.meta(), self.config, self.policy,
+                          value.imbalance)
+        self._charge(price)
+        return self._wrap(result, price.output_distributed)
+
+    def structural(self, value: Value, kind: str) -> Value:
+        """rowsums / colsums / diag."""
+        if kind == "rowsums":
+            result = value.matrix.row_sums()
+        elif kind == "colsums":
+            result = value.matrix.col_sums()
+        elif kind == "diag":
+            result = value.matrix.diagonal()
+        else:  # pragma: no cover - defensive
+            raise ExecutionError(f"unknown structural builtin {kind!r}")
+        price = price_structural(kind, value.meta, result.meta(), self.config,
+                                 self.policy, value.imbalance)
+        self._charge(price)
+        return self._wrap(result, price.output_distributed)
+
+    # ------------------------------------------------------------------
+    # Persistence (hoisted loop-constant results)
+    # ------------------------------------------------------------------
+    def persist(self, value: Value) -> Value:
+        """Cache a hoisted result for reuse across iterations.
+
+        Distributed results are checkpointed to DFS once (SystemDS caches
+        RDDs; we charge the initial write, reuse is then free).
+        """
+        price = price_persist(value.meta, self.config, self.policy)
+        self._charge(price)
+        return value

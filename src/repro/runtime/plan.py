@@ -1,0 +1,45 @@
+"""Compiled program: what the optimizer hands the executor.
+
+A :class:`CompiledProgram` is a rewritten :class:`~repro.lang.program.
+Program` (hoisted loop-constant temporaries in the prologue, CSE temporaries
+in place, multiplication chains re-parenthesized to the chosen execution
+order) together with the optimizer's bookkeeping: which elimination options
+were applied, the predicted cost, and how long compilation took (the
+quantity Figs. 8(a)/10(a) report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..lang.program import Program
+
+
+@dataclass
+class CompiledProgram:
+    """Executable program plus optimizer provenance."""
+
+    program: Program
+    #: Elimination options actually applied (list of option descriptors).
+    applied_options: list[Any] = field(default_factory=list)
+    #: Options found by the search but not applied (contradictory or
+    #: judged detrimental).
+    rejected_options: list[Any] = field(default_factory=list)
+    #: The optimizer's predicted cost of one full program run (seconds).
+    estimated_cost: float = 0.0
+    #: Real wall-clock seconds spent compiling/optimizing.
+    compile_seconds: float = 0.0
+    #: Free-form diagnostics (search statistics, estimator name, ...).
+    notes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_applied(self) -> int:
+        return len(self.applied_options)
+
+    def describe(self) -> str:
+        """One-line human-readable summary for benchmark logs."""
+        applied = ", ".join(str(o) for o in self.applied_options) or "none"
+        return (f"CompiledProgram(applied=[{applied}], "
+                f"estimated_cost={self.estimated_cost:.4g}s, "
+                f"compile={self.compile_seconds * 1e3:.1f}ms)")

@@ -1,0 +1,54 @@
+"""Shared fixtures: cluster configs and small deterministic matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse as sp
+
+from repro.config import ClusterConfig
+from repro.matrix.meta import MatrixMeta
+
+
+@pytest.fixture
+def cluster() -> ClusterConfig:
+    """A small distributed cluster: tight budgets so tiny matrices distribute."""
+    return ClusterConfig(driver_memory_bytes=60_000, broadcast_limit_bytes=15_000,
+                         block_size=64)
+
+
+@pytest.fixture
+def single_node(cluster: ClusterConfig) -> ClusterConfig:
+    return cluster.as_single_node()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def dense_matrix(rng) -> np.ndarray:
+    return rng.random((200, 40))
+
+
+@pytest.fixture
+def sparse_matrix(rng) -> sp.csr_matrix:
+    return sp.random(300, 50, density=0.05, format="csr", random_state=rng)
+
+
+@pytest.fixture
+def tall_meta() -> MatrixMeta:
+    return MatrixMeta(10_000, 100, 0.02)
+
+
+@pytest.fixture
+def dfp_like_inputs() -> dict[str, MatrixMeta]:
+    """Metadata environment shaped like the DFP workload."""
+    return {
+        "A": MatrixMeta(1000, 80, 0.5),
+        "b": MatrixMeta(1000, 1, 1.0),
+        "x": MatrixMeta(80, 1, 1.0),
+        "H": MatrixMeta(80, 80, 1.0, symmetric=True),
+        "i": MatrixMeta(1, 1),
+    }

@@ -1,0 +1,121 @@
+"""Bench harness, report rendering, and figure-driver smoke tests."""
+
+import os
+
+import pytest
+
+from repro.bench import (
+    BenchContext,
+    claims_counts,
+    fig3_motivation,
+    fig13_balance,
+    render_table,
+    save_report,
+    speedup,
+    summarize_speedups,
+    table2_datasets,
+)
+from repro.bench.figures import run_forced_options
+from repro.config import ClusterConfig
+
+
+@pytest.fixture
+def tiny_ctx(cluster):
+    return BenchContext(cluster=cluster, scale=0.1, iterations=4)
+
+
+class TestHarness:
+    def test_dataset_cached(self, tiny_ctx):
+        assert tiny_ctx.dataset("cri1") is tiny_ctx.dataset("cri1")
+
+    def test_workload_cached(self, tiny_ctx):
+        a = tiny_ctx.workload("gd", "cri1")
+        b = tiny_ctx.workload("gd", "cri1")
+        assert a is b
+
+    def test_run_produces_result(self, tiny_ctx):
+        result = tiny_ctx.run("systemds*", "gd", "cri1")
+        assert result.engine == "systemds*"
+        assert result.execution_seconds >= 0
+
+    def test_single_node_flag(self, tiny_ctx):
+        result = tiny_ctx.run("systemds*", "gd", "cri1", single_node=True)
+        assert result.metrics.seconds_by_phase.get("transmission", 0.0) == 0.0
+
+    def test_iteration_override(self, tiny_ctx):
+        short = tiny_ctx.run("systemds*", "gd", "cri1", iterations=2)
+        long = tiny_ctx.run("systemds*", "gd", "cri1", iterations=8)
+        assert long.execution_seconds > short.execution_seconds
+
+    def test_speedup_helper(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        assert speedup(1.0, 0.0) == float("inf")
+
+
+class TestReport:
+    def test_render_alignment(self):
+        rows = [{"name": "a", "value": 1.5}, {"name": "bb", "value": 22.0}]
+        text = render_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_empty(self):
+        assert "(no rows)" in render_table([], title="X")
+
+    def test_value_formatting(self):
+        rows = [{"x": True, "y": 0.000123, "z": 123456.0}]
+        text = render_table(rows)
+        assert "yes" in text
+        assert "0.000123" in text
+
+    def test_save_report_writes_file(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.bench.report.RESULTS_DIR", str(tmp_path))
+        save_report("unit", [{"a": 1}], title="U", notes="hello")
+        content = open(os.path.join(tmp_path, "unit.txt")).read()
+        assert "U" in content and "hello" in content
+
+    def test_summarize_speedups(self):
+        rows = [
+            {"dataset": "d1", "engine": "base", "t": 10.0},
+            {"dataset": "d1", "engine": "fast", "t": 2.0},
+            {"dataset": "d2", "engine": "base", "t": 4.0},
+            {"dataset": "d2", "engine": "fast", "t": 8.0},
+        ]
+        out = summarize_speedups(rows, ("dataset",), "t", "base")
+        by = {r["dataset"]: r for r in out}
+        assert by["d1"]["speedup_fast"] == pytest.approx(5.0)
+        assert by["d2"]["speedup_fast"] == pytest.approx(0.5)
+
+
+class TestFigureDrivers:
+    def test_table2_rows(self, tiny_ctx):
+        rows = table2_datasets(tiny_ctx)
+        assert len(rows) == 6
+        assert all("mini_sparsity" in r for r in rows)
+
+    def test_claims_counts_rows(self, tiny_ctx):
+        rows = claims_counts(tiny_ctx)
+        by = {r["claim"]: r["measured"] for r in rows}
+        assert by["10-chain plans, no transposes (Catalan)"] == 4862
+
+    def test_fig13_uses_fine_blocks(self, tiny_ctx):
+        rows = fig13_balance(tiny_ctx, block_size=32)
+        assert len(rows) == 6
+        for row in rows:
+            assert 0.0 <= row["min_proportion"] <= row["max_proportion"] <= 1.0
+
+    def test_run_forced_options_roundtrip(self, tiny_ctx):
+        forced = run_forced_options(tiny_ctx, "dfp", "cri1",
+                                    keys=(("lse", "A' A"),))
+        assert forced["applied_options"] == 1
+        assert forced["execution_seconds"] >= 0
+
+    def test_fig3_has_all_variants(self, tiny_ctx):
+        rows = fig3_motivation(tiny_ctx, dataset="cri1")
+        variants = {r["variant"] for r in rows}
+        assert variants == {"no CSE/LSE", "explicit", "contradictory",
+                            "ATA,ddT", "efficient"}
+        settings = {r["setting"] for r in rows}
+        assert settings == {"distributed", "single-node"}

@@ -1,0 +1,88 @@
+"""CLI tests: python -m repro run / optimize / datasets."""
+
+import pytest
+
+from repro.__main__ import _parse_input_spec, main
+from repro.matrix import MatrixMeta
+
+
+GD_SCRIPT = """
+input A, b, x, alpha
+i = 0
+while (i < 20) {
+  g = t(A) %*% (A %*% x - b)
+  x = x - alpha * g
+  i = i + 1
+}
+"""
+
+
+@pytest.fixture
+def script_path(tmp_path):
+    path = tmp_path / "gd.dml"
+    path.write_text(GD_SCRIPT)
+    return str(path)
+
+
+class TestInputSpec:
+    def test_full_spec(self):
+        name, meta = _parse_input_spec("A:100x50:0.25")
+        assert name == "A"
+        assert meta == MatrixMeta(100, 50, 0.25)
+
+    def test_default_dense(self):
+        _name, meta = _parse_input_spec("x:50x1")
+        assert meta.sparsity == 1.0
+
+    def test_bad_specs_rejected(self):
+        import argparse
+        for bad in ("A", "A:10", "A:axb", "A:10x5:zz"):
+            with pytest.raises(argparse.ArgumentTypeError):
+                _parse_input_spec(bad)
+
+
+class TestCommands:
+    def test_run_command(self, capsys):
+        code = main(["run", "--engine", "systemds*", "--algorithm", "gd",
+                     "--dataset", "cri1", "--iterations", "3",
+                     "--scale", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "execution" in out
+        assert "gd on cri1" in out
+
+    def test_run_single_node(self, capsys):
+        code = main(["run", "--engine", "systemds*", "--algorithm", "gd",
+                     "--dataset", "cri1", "--iterations", "2",
+                     "--scale", "0.05", "--single-node"])
+        assert code == 0
+        assert "transmission" not in capsys.readouterr().out
+
+    def test_optimize_command(self, capsys, script_path):
+        code = main(["optimize", script_path, "--scalar", "i",
+                     "--scalar", "alpha",
+                     "--input", "A:20000x100:0.05",
+                     "--input", "b:20000x1", "--input", "x:100x1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LSE" in out
+        assert "tREMAC" in out
+        assert "while" in out
+
+    def test_optimize_missing_input_metadata(self, capsys, script_path):
+        code = main(["optimize", script_path, "--scalar", "i",
+                     "--scalar", "alpha", "--input", "A:100x10"])
+        assert code == 2
+        assert "no metadata" in capsys.readouterr().err
+
+    def test_datasets_command(self, capsys):
+        code = main(["datasets"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("cri1", "red3", "zipf-2.8"):
+            assert name in out
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,246 @@
+"""Cost model, cost graph, probing DP, and enumeration baseline tests."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.core.build import build_all_tables, cost_option, statement_sketch_envs
+from repro.core.chains import build_chains
+from repro.core.cost import CostModel, ProgramCostEvaluator, sketch_inputs
+from repro.core.costgraph import build_cost_graph
+from repro.core.enumerate import enumerate_combinations
+from repro.core.probe import probe
+from repro.core.search import blockwise_search
+from repro.core.sparsity import make_estimator
+from repro.lang import parse
+from repro.matrix.meta import MatrixMeta
+
+DFP_SOURCE = """
+input A, b, x
+g = t(A) %*% A %*% x - t(A) %*% b
+i = 0
+while (i < 10) {
+  d = H %*% g
+  H = H - H %*% t(A) %*% A %*% d %*% t(d) %*% t(A) %*% A %*% H / (t(d) %*% t(A) %*% A %*% H %*% t(A) %*% A %*% d) + d %*% t(d) / (2 * (t(d) %*% t(A) %*% A %*% d))
+  g = g - t(A) %*% A %*% d
+  i = i + 1
+}
+"""
+
+
+@pytest.fixture
+def thin_inputs():
+    """A thin dataset: hoisting AᵀA is clearly beneficial."""
+    return {
+        "A": MatrixMeta(20_000, 40, 0.6),
+        "b": MatrixMeta(20_000, 1), "x": MatrixMeta(40, 1),
+        "H": MatrixMeta(40, 40, 1.0, symmetric=True), "i": MatrixMeta(1, 1),
+    }
+
+
+@pytest.fixture
+def fat_inputs():
+    """A fat dataset: AᵀA is as large as the data; hoisting is dubious."""
+    return {
+        "A": MatrixMeta(3_000, 2_000, 0.002),
+        "b": MatrixMeta(3_000, 1), "x": MatrixMeta(2_000, 1),
+        "H": MatrixMeta(2_000, 2_000, 1.0, symmetric=True), "i": MatrixMeta(1, 1),
+    }
+
+
+def setup(inputs, cluster, iterations=10, estimator="metadata"):
+    program = parse(DFP_SOURCE, scalar_names={"i"})
+    chains = build_chains(program, inputs, iterations=iterations)
+    options = blockwise_search(chains).options
+    model = CostModel(cluster, make_estimator(estimator))
+    sketches = sketch_inputs(model, inputs)
+    return chains, options, model, sketches
+
+
+class TestCostModel:
+    def test_matmul_priced_and_sketched(self, cluster, thin_inputs):
+        model = CostModel(cluster, make_estimator("metadata"))
+        a = model.sketch_of(meta=thin_inputs["A"])
+        v = model.sketch_of(meta=MatrixMeta(40, 1))
+        priced = model.matmul(a, v)
+        assert priced.seconds > 0
+        assert model.meta(priced.sketch).rows == 20_000
+
+    def test_program_cost_scales_with_iterations(self, cluster, thin_inputs):
+        program = parse(DFP_SOURCE, scalar_names={"i"})
+        model = CostModel(cluster, make_estimator("metadata"))
+        sketches = sketch_inputs(model, thin_inputs)
+        evaluator = ProgramCostEvaluator(model)
+        short = evaluator.evaluate(program, sketches, iterations=5)
+        long = evaluator.evaluate(program, sketches, iterations=50)
+        assert long.total_seconds > short.total_seconds
+        assert long.per_iteration_seconds == pytest.approx(
+            short.per_iteration_seconds, rel=0.01)
+
+    def test_evaluator_mirrors_executor_structure(self, cluster, thin_inputs):
+        program = parse(DFP_SOURCE, scalar_names={"i"})
+        model = CostModel(cluster, make_estimator("metadata"))
+        cost = ProgramCostEvaluator(model).evaluate(
+            program, sketch_inputs(model, thin_inputs), iterations=10)
+        assert cost.prologue_seconds > 0
+        assert cost.per_iteration_seconds > 0
+        assert cost.total_seconds == pytest.approx(
+            cost.prologue_seconds + 10 * cost.per_iteration_seconds)
+
+
+class TestBuildingPhase:
+    def test_span_tables_cover_all_spans(self, cluster, thin_inputs):
+        chains, options, model, sketches = setup(thin_inputs, cluster)
+        envs = statement_sketch_envs(chains, model, sketches)
+        tables = build_all_tables(chains, model, envs)
+        for site in chains.sites:
+            table = tables[site.site_id]
+            n = len(site)
+            for width in range(1, n + 1):
+                for i in range(0, n - width + 1):
+                    assert (i, i + width - 1) in table.plain_cost
+
+    def test_plain_cost_monotone_in_width(self, cluster, thin_inputs):
+        chains, options, model, sketches = setup(thin_inputs, cluster)
+        envs = statement_sketch_envs(chains, model, sketches)
+        tables = build_all_tables(chains, model, envs)
+        table = tables[max(tables, key=lambda sid: len(chains.site(sid)))]
+        n = table.n
+        assert table.plain_cost[(0, n - 1)] >= table.plain_cost[(0, n - 2)] * 0.0
+
+    def test_lse_shared_cost_amortizes_persist(self, cluster, thin_inputs):
+        chains, options, model, sketches = setup(thin_inputs, cluster)
+        envs = statement_sketch_envs(chains, model, sketches)
+        tables = build_all_tables(chains, model, envs)
+        lse = next(o for o in options if o.is_lse and o.key == "A' A")
+        costing = cost_option(lse, chains, model, tables, envs)
+        assert costing.shared_cost > 0
+        assert costing.apportioned == pytest.approx(
+            costing.shared_cost / len(lse.occurrences))
+
+    def test_cse_shared_cost_weighted_by_iterations(self, cluster, thin_inputs):
+        short_chains, options_s, model, sketches = setup(thin_inputs, cluster,
+                                                         iterations=2)
+        long_chains, options_l, _, _ = setup(thin_inputs, cluster,
+                                             iterations=20)[0:4]
+        envs_s = statement_sketch_envs(short_chains, model, sketches)
+        envs_l = statement_sketch_envs(long_chains, model, sketches)
+        tables_s = build_all_tables(short_chains, model, envs_s)
+        tables_l = build_all_tables(long_chains, model, envs_l)
+        cse_s = next(o for o in options_s if o.is_cse and o.key == "d d'")
+        cse_l = next(o for o in options_l if o.is_cse and o.key == "d d'")
+        cost_s = cost_option(cse_s, short_chains, model, tables_s, envs_s)
+        cost_l = cost_option(cse_l, long_chains, model, tables_l, envs_l)
+        assert cost_l.shared_cost == pytest.approx(10 * cost_s.shared_cost,
+                                                   rel=0.01)
+
+
+class TestCostGraph:
+    def test_graph_structure(self, cluster, thin_inputs):
+        chains, options, model, sketches = setup(thin_inputs, cluster)
+        envs = statement_sketch_envs(chains, model, sketches)
+        tables = build_all_tables(chains, model, envs)
+        costings = [cost_option(o, chains, model, tables, envs) for o in options]
+        graph = build_cost_graph(chains, tables, costings)
+        assert graph.num_operators > 0
+        assert graph.num_candidate_costs > 0
+        # Every operator producing the AᵀA span carries an LSE candidate.
+        lse = next(c for c in costings if c.option.is_lse and c.option.key == "A' A")
+        occ = lse.option.occurrences[0]
+        producers = graph.operators_producing(occ.site_id, occ.span)
+        assert producers
+        for node in producers:
+            kinds = {c.kind for c in node.costs}
+            assert "lse" in kinds
+
+    def test_describe_renders(self, cluster, thin_inputs):
+        chains, options, model, sketches = setup(thin_inputs, cluster)
+        envs = statement_sketch_envs(chains, model, sketches)
+        tables = build_all_tables(chains, model, envs)
+        costings = [cost_option(o, chains, model, tables, envs) for o in options]
+        graph = build_cost_graph(chains, tables, costings)
+        text = graph.describe(limit=5)
+        assert "O({" in text
+
+
+class TestProbe:
+    def test_probe_improves_on_plain(self, cluster, thin_inputs):
+        chains, options, model, sketches = setup(thin_inputs, cluster)
+        result = probe(chains, model, options, sketches)
+        assert result.chain_cost <= result.plain_cost
+        assert result.chosen, "thin data: hoisting AᵀA must be chosen"
+
+    def test_probe_picks_ata_on_thin_data(self, cluster, thin_inputs):
+        chains, options, model, sketches = setup(thin_inputs, cluster)
+        result = probe(chains, model, options, sketches)
+        keys = {(o.kind, o.key) for o in result.chosen}
+        assert ("lse", "A' A") in keys
+
+    def test_probe_chosen_set_is_conflict_free(self, cluster, thin_inputs):
+        from repro.core.options import conflict_free
+        chains, options, model, sketches = setup(thin_inputs, cluster)
+        result = probe(chains, model, options, sketches)
+        assert conflict_free(result.chosen)
+
+    def test_probe_empty_options(self, cluster, thin_inputs):
+        chains, _options, model, sketches = setup(thin_inputs, cluster)
+        result = probe(chains, model, [], sketches)
+        assert result.chosen == []
+        assert result.chain_cost == pytest.approx(result.plain_cost)
+
+    def test_probe_rejects_detrimental_on_fat_data(self, cluster, fat_inputs):
+        chains, options, model, sketches = setup(fat_inputs, cluster,
+                                                 iterations=3)
+        result = probe(chains, model, options, sketches)
+        keys = {(o.kind, o.key) for o in result.chosen}
+        # On a fat matrix with few iterations, materializing d dᵀ (an n×n
+        # dense intermediate) must not be picked.
+        assert ("cse", "d d'") not in keys
+
+
+class TestEnumeration:
+    def test_enum_agrees_with_probe_on_small_case(self, cluster, thin_inputs):
+        chains, options, model, sketches = setup(thin_inputs, cluster)
+        dp = probe(chains, model, options, sketches)
+        enum = enumerate_combinations(chains, model, options, sketches,
+                                      order="bfs", option_limit=12,
+                                      combination_budget=50_000,
+                                      evaluation="incremental")
+        assert enum.chain_cost <= dp.chain_cost * 1.05
+
+    def test_enum_dfs_and_bfs_same_best_cost(self, cluster, thin_inputs):
+        chains, options, model, sketches = setup(thin_inputs, cluster)
+        dfs = enumerate_combinations(chains, model, options, sketches,
+                                     order="dfs", option_limit=10,
+                                     combination_budget=50_000,
+                                     evaluation="incremental")
+        bfs = enumerate_combinations(chains, model, options, sketches,
+                                     order="bfs", option_limit=10,
+                                     combination_budget=50_000,
+                                     evaluation="incremental")
+        assert dfs.chain_cost == pytest.approx(bfs.chain_cost, rel=0.01)
+
+    def test_enum_budget_flag(self, cluster, thin_inputs):
+        chains, options, model, sketches = setup(thin_inputs, cluster)
+        result = enumerate_combinations(chains, model, options, sketches,
+                                        order="bfs", option_limit=15,
+                                        combination_budget=10)
+        assert result.budget_exhausted
+
+    def test_enum_work_grows_combinatorially_with_options(self, cluster,
+                                                          thin_inputs):
+        """The §4.1 explosion: each extra compatible option can double the
+        subsets the enumerator must price."""
+        chains, options, model, sketches = setup(thin_inputs, cluster)
+        few = enumerate_combinations(chains, model, options, sketches,
+                                     order="dfs", option_limit=4,
+                                     combination_budget=100_000)
+        many = enumerate_combinations(chains, model, options, sketches,
+                                      order="dfs", option_limit=8,
+                                      combination_budget=100_000)
+        assert many.combinations_evaluated > 2 * few.combinations_evaluated
+
+    def test_invalid_order_rejected(self, cluster, thin_inputs):
+        chains, options, model, sketches = setup(thin_inputs, cluster)
+        with pytest.raises(ValueError):
+            enumerate_combinations(chains, model, options, sketches,
+                                   order="random")

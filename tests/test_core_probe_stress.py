@@ -1,0 +1,111 @@
+"""Probe stress tests: dense option overlap, entry caps, degenerate inputs."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.core import blockwise_search, build_chains, probe
+from repro.core.cost import CostModel, sketch_inputs
+from repro.core.options import conflict_free
+from repro.core.sparsity import make_estimator
+from repro.lang import parse
+from repro.matrix.meta import MatrixMeta
+
+
+def world(source, inputs, cluster, iterations=10):
+    program = parse(source, scalar_names={"i"})
+    chains = build_chains(program, inputs, iterations=iterations)
+    options = blockwise_search(chains).options
+    model = CostModel(cluster, make_estimator("metadata"))
+    sketches = sketch_inputs(model, inputs)
+    return chains, options, model, sketches
+
+
+class TestRepeatedChains:
+    """(AB)^k chains create a thicket of overlapping, repeated options."""
+
+    @pytest.fixture
+    def repeated(self, cluster):
+        inputs = {"A": MatrixMeta(48, 48, 0.5), "B": MatrixMeta(48, 48, 0.5),
+                  "i": MatrixMeta(1, 1)}
+        source = """
+            i = 0
+            while (i < 10) {
+              R = A %*% B %*% A %*% B %*% A %*% B %*% A %*% B
+              i = i + 1
+            }
+        """
+        return world(source, inputs, cluster)
+
+    def test_many_options_found(self, repeated):
+        _chains, options, _model, _sketches = repeated
+        assert len(options) >= 4
+        keys = {o.key for o in options}
+        assert "A B" in keys
+        assert "A B A B" in keys
+
+    def test_probe_handles_overlap_thicket(self, repeated):
+        chains, options, model, sketches = repeated
+        result = probe(chains, model, options, sketches)
+        assert conflict_free(result.chosen)
+        assert result.chain_cost <= result.plain_cost + 1e-12
+
+    def test_tight_entry_cap_still_sound(self, repeated):
+        """Caps may lose optimality but never produce an invalid plan."""
+        chains, options, model, sketches = repeated
+        capped = probe(chains, model, options, sketches, entry_cap=2,
+                       global_cap=4)
+        uncapped = probe(chains, model, options, sketches)
+        assert conflict_free(capped.chosen)
+        assert capped.chain_cost >= uncapped.chain_cost - 1e-12
+
+    def test_rewrite_of_thicket_preserves_semantics(self, repeated, rng):
+        import numpy as np
+        from repro.core.rewrite import rewrite_program
+        from repro.runtime import Executor
+        chains, options, model, sketches = repeated
+        result = probe(chains, model, options, sketches)
+        rewritten = rewrite_program(chains, result.chosen, model, sketches)
+        cluster = ClusterConfig().as_single_node()
+        data = {"A": rng.random((48, 48)) * 0.1,
+                "B": rng.random((48, 48)) * 0.1, "i": 0.0}
+        env0 = Executor(cluster).run(chains.program, dict(data))
+        env1 = Executor(cluster).run(rewritten, dict(data))
+        assert np.allclose(env0["R"].matrix.to_numpy(),
+                           env1["R"].matrix.to_numpy(), rtol=1e-8)
+
+
+class TestDegenerateInputs:
+    def test_program_without_loops(self, cluster):
+        inputs = {"A": MatrixMeta(100, 10, 0.5), "v": MatrixMeta(10, 1)}
+        chains, options, model, sketches = world("u = A %*% v\nw = A %*% v",
+                                                 inputs, cluster)
+        result = probe(chains, model, options, sketches)
+        # The duplicated A v is a CSE even outside any loop.
+        assert any(o.is_cse for o in result.chosen) or not options
+
+    def test_single_statement_single_chain(self, cluster):
+        inputs = {"A": MatrixMeta(100, 10, 0.5), "v": MatrixMeta(10, 1)}
+        chains, options, model, sketches = world("u = A %*% v", inputs, cluster)
+        result = probe(chains, model, options, sketches)
+        assert result.chosen == []
+        assert result.chain_cost == pytest.approx(result.plain_cost)
+
+    def test_scalar_only_program(self, cluster):
+        inputs = {"i": MatrixMeta(1, 1)}
+        chains, options, model, sketches = world(
+            "i = 0\nwhile (i < 3) { i = i + 1 }", inputs, cluster)
+        result = probe(chains, model, options, sketches)
+        assert result.chosen == []
+
+    def test_zero_iteration_weighting(self, cluster):
+        """iterations=1 still yields a valid (if conservative) plan."""
+        inputs = {"A": MatrixMeta(5000, 40, 0.5), "v": MatrixMeta(40, 1),
+                  "i": MatrixMeta(1, 1)}
+        chains, options, model, sketches = world("""
+            i = 0
+            while (i < 5) {
+              u = t(A) %*% A %*% v
+              i = i + 1
+            }""", inputs, cluster, iterations=1)
+        result = probe(chains, model, options, sketches)
+        assert conflict_free(result.chosen)

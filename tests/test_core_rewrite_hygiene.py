@@ -1,0 +1,174 @@
+"""Rewrite hygiene: dead temps, multi-round compilation, transpose penalty."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig, OptimizerConfig
+from repro.core import ReMacOptimizer, build_chains, blockwise_search, probe
+from repro.core.cost import CostModel, sketch_inputs
+from repro.core.rewrite import TEMP_PREFIX, rewrite_program
+from repro.core.sparsity import make_estimator
+from repro.lang import format_program, parse
+from repro.matrix.meta import MatrixMeta
+
+DFP_SOURCE = """
+input A, b, x
+g = t(A) %*% A %*% x - t(A) %*% b
+i = 0
+while (i < 20) {
+  d = H %*% g
+  H = H - H %*% t(A) %*% A %*% d %*% t(d) %*% t(A) %*% A %*% H / (t(d) %*% t(A) %*% A %*% H %*% t(A) %*% A %*% d) + d %*% t(d) / (2 * (t(d) %*% t(A) %*% A %*% d))
+  g = g - t(A) %*% A %*% d
+  i = i + 1
+}
+"""
+
+
+@pytest.fixture
+def world(cluster):
+    inputs = {
+        "A": MatrixMeta(20_000, 40, 0.6),
+        "b": MatrixMeta(20_000, 1), "x": MatrixMeta(40, 1),
+        "H": MatrixMeta(40, 40, 1.0, symmetric=True), "i": MatrixMeta(1, 1),
+    }
+    program = parse(DFP_SOURCE, scalar_names={"i"})
+    chains = build_chains(program, inputs, iterations=20)
+    options = blockwise_search(chains).options
+    model = CostModel(cluster, make_estimator("metadata"))
+    sketches = sketch_inputs(model, inputs)
+    return program, inputs, chains, options, model, sketches
+
+
+class TestDeadTempElimination:
+    def test_nested_only_option_leaves_no_dead_temp(self, world):
+        """Choosing both LSE(AᵀA) and CSE(AᵀA) makes the CSE's occurrences
+        vanish into the LSE reads; its temp must not survive."""
+        _p, _i, chains, options, model, sketches = world
+        lse = next(o for o in options if o.is_lse and o.key == "A' A")
+        cse = next(o for o in options if o.is_cse and o.key == "A' A")
+        rewritten = rewrite_program(chains, [lse, cse], model, sketches)
+        text = format_program(rewritten)
+        targets = [a.target for a in rewritten.assignments()
+                   if a.target.startswith(TEMP_PREFIX)]
+        used = set()
+        for assign in rewritten.assignments():
+            used |= assign.expr.variables()
+        for temp in targets:
+            assert temp in used, f"dead temp {temp} survived:\n{text}"
+
+    def test_no_temp_defined_inside_loop_without_use(self, world):
+        _p, _i, chains, options, model, sketches = world
+        chosen = [o for o in options if o.key in ("A' A", "d d'")]
+        rewritten = rewrite_program(chains, chosen, model, sketches)
+        loop = rewritten.loops()[0]
+        body_targets = {s.target for s in loop.assignments()}
+        used = set()
+        for assign in rewritten.assignments():
+            used |= assign.expr.variables()
+        for target in body_targets:
+            if target.startswith(TEMP_PREFIX):
+                assert target in used
+
+
+class TestMultiRoundAdaptive:
+    def test_ata_resurfaces_in_round_two(self, world):
+        """The flagship chained elimination: after the numerator CSE, AᵀA
+        is hoisted out of the temp definition in a later round."""
+        program, inputs, *_ = world
+        cluster = ClusterConfig(driver_memory_bytes=60_000,
+                                broadcast_limit_bytes=15_000, block_size=64)
+        optimizer = ReMacOptimizer(cluster, OptimizerConfig(estimator="metadata"))
+        compiled = optimizer.compile(program, inputs, iterations=20)
+        keys = {(o.kind, o.key) for o in compiled.applied_options}
+        assert any(kind == "cse" for kind, _ in keys)
+        assert ("lse", "A' A") in keys, \
+            f"round-2 hoist missing; applied: {keys}"
+        # The hoist statement sits before the loop in the final program.
+        text = format_program(compiled.program)
+        loop_pos = text.index("while")
+        hoist_line = next(line for line in text.splitlines()
+                          if "t(A) %*% A" in line and "=" in line)
+        assert text.index(hoist_line) < loop_pos
+
+    def test_fixed_strategies_single_round(self, world):
+        program, inputs, *_ = world
+        cluster = ClusterConfig(driver_memory_bytes=60_000,
+                                broadcast_limit_bytes=15_000, block_size=64)
+        optimizer = ReMacOptimizer(
+            cluster, OptimizerConfig(strategy="conservative"))
+        compiled = optimizer.compile(program, inputs, iterations=20)
+        # Single-round: no second-generation temps referencing first-round ones.
+        for option in compiled.applied_options:
+            assert "tREMAC1_" not in option.key
+
+    def test_multi_round_preserves_semantics(self, world, rng):
+        program, inputs, *_ = world
+        cluster = ClusterConfig(driver_memory_bytes=60_000,
+                                broadcast_limit_bytes=15_000, block_size=64)
+        m, n = 2000, 40
+        A = rng.random((m, n)) * (rng.random((m, n)) < 0.6)
+        data = {"A": A, "b": A @ rng.random((n, 1)), "x": np.zeros((n, 1)),
+                "H": np.eye(n) * 0.001, "i": 0.0}
+        small_inputs = {
+            "A": MatrixMeta(m, n, 0.6), "b": MatrixMeta(m, 1),
+            "x": MatrixMeta(n, 1), "H": MatrixMeta(n, n, symmetric=True),
+            "i": MatrixMeta(1, 1)}
+        compiled = ReMacOptimizer(cluster).compile(program, small_inputs,
+                                                   input_data=data,
+                                                   iterations=20)
+        from repro.runtime import Executor
+        env_orig = Executor(cluster).run(program, data, symmetric={"H"})
+        env_opt = Executor(cluster).run(compiled.program, data, symmetric={"H"})
+        assert np.allclose(env_orig["H"].matrix.to_numpy(),
+                           env_opt["H"].matrix.to_numpy(),
+                           atol=1e-6, rtol=1e-5)
+
+
+class TestReuseTransposePenalty:
+    def test_probe_charges_whole_block_opposite_orientation(self, cluster):
+        """A CSE whose twin occurrence is the transposed whole block must
+        carry the materialized-transpose price in its activation."""
+        from repro.core.build import (build_all_tables, cost_option,
+                                      statement_sketch_envs)
+        inputs = {
+            "A": MatrixMeta(20_000, 1000, 0.02),
+            "u": MatrixMeta(20_000, 1), "v": MatrixMeta(1000, 1),
+            "i": MatrixMeta(1, 1),
+        }
+        # P = uᵀ A (1 x n); Q = Aᵀ u (n x 1 = Pᵀ): whole-block twins.
+        program = parse("""
+            i = 0
+            while (i < 10) {
+              P = t(u) %*% A
+              Q = t(A) %*% u
+              w = P %*% v
+              z = t(Q) %*% v
+              i = i + 1
+            }""", scalar_names={"i"})
+        chains = build_chains(program, inputs, iterations=10)
+        options = blockwise_search(chains).options
+        model = CostModel(cluster, make_estimator("metadata"))
+        sketches = sketch_inputs(model, inputs)
+        envs = statement_sketch_envs(chains, model, sketches)
+        tables = build_all_tables(chains, model, envs)
+        twin = next(o for o in options if o.key == "A' u")
+        costing = cost_option(twin, chains, model, tables, envs)
+        occ_opposite = next(occ for occ in twin.occurrences
+                            if twin.needs_transpose(occ))
+        site_len = len(chains.site(occ_opposite.site_id))
+        table = tables[occ_opposite.site_id]
+        plain = costing.apportioned
+        charged = costing.activation_cost(occ_opposite, site_len, table.weight)
+        if occ_opposite.width == site_len:
+            assert charged > plain
+        occ_same = next(occ for occ in twin.occurrences
+                        if not twin.needs_transpose(occ))
+        assert costing.activation_cost(occ_same, site_len, table.weight) \
+            == pytest.approx(plain)
+
+    def test_probe_avoids_transpose_shuffle_trap(self, world):
+        """End to end: the chosen plan's predicted cost is never worse than
+        applying nothing (the probe must not walk into the shuffle trap)."""
+        _p, _i, chains, options, model, sketches = world
+        result = probe(chains, model, options, sketches)
+        assert result.chain_cost <= result.plain_cost + 1e-12

@@ -1,0 +1,204 @@
+"""Sparsity estimator tests: accuracy against the exact oracle, skew behaviour."""
+
+import numpy as np
+import pytest
+from scipy import sparse as sp
+
+from repro.core.sparsity import (
+    DensityMapEstimator,
+    ExactEstimator,
+    MetadataEstimator,
+    MNCEstimator,
+    SamplingEstimator,
+    make_estimator,
+)
+from repro.matrix.blocked import BlockedMatrix
+from repro.matrix.meta import MatrixMeta
+
+ALL_NAMES = ["metadata", "mnc", "densitymap", "sampling", "exact"]
+
+
+@pytest.fixture
+def uniform_pair(rng):
+    a = sp.random(400, 60, density=0.03, format="csr", random_state=rng)
+    b = sp.random(60, 90, density=0.08, format="csr", random_state=rng)
+    return a, b
+
+
+@pytest.fixture
+def skewed_matrix(rng):
+    rows = rng.zipf(1.8, size=4000) % 400
+    cols = rng.zipf(1.8, size=4000) % 60
+    values = np.ones(4000)
+    matrix = sp.csr_matrix((values, (rows, cols)), shape=(400, 60))
+    matrix.data[:] = 1.0
+    return matrix
+
+
+def true_matmul_sparsity(a, b) -> float:
+    product = (a @ b)
+    rows, cols = product.shape
+    return (product != 0).sum() / (rows * cols)
+
+
+class TestFactory:
+    def test_all_names_resolve(self):
+        for name in ALL_NAMES:
+            estimator = make_estimator(name)
+            assert estimator.name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown sparsity estimator"):
+            make_estimator("psychic")
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestCommonContract:
+    def test_leaf_meta_round_trip(self, name, uniform_pair):
+        estimator = make_estimator(name)
+        a, _ = uniform_pair
+        sketch = estimator.sketch_data(a)
+        meta = estimator.meta(sketch)
+        assert (meta.rows, meta.cols) == a.shape
+        true_sp = a.nnz / (a.shape[0] * a.shape[1])
+        tolerance = 0.5 if name == "sampling" else 0.01
+        assert meta.sparsity == pytest.approx(true_sp, rel=tolerance)
+
+    def test_transpose_swaps_shape(self, name, uniform_pair):
+        estimator = make_estimator(name)
+        sketch = estimator.sketch_data(uniform_pair[0])
+        meta = estimator.meta(estimator.transpose(sketch))
+        assert (meta.rows, meta.cols) == (60, 400)
+
+    def test_matmul_shape(self, name, uniform_pair):
+        estimator = make_estimator(name)
+        a, b = uniform_pair
+        out = estimator.matmul(estimator.sketch_data(a), estimator.sketch_data(b))
+        assert (estimator.meta(out).rows, estimator.meta(out).cols) == (400, 90)
+
+    def test_matmul_estimate_within_2x_on_uniform(self, name, uniform_pair):
+        estimator = make_estimator(name)
+        a, b = uniform_pair
+        estimate = estimator.meta(estimator.matmul(
+            estimator.sketch_data(a), estimator.sketch_data(b))).sparsity
+        truth = true_matmul_sparsity(a, b)
+        assert truth / 2 <= estimate <= truth * 2
+
+    def test_scalar_op_densifies_or_not(self, name, uniform_pair):
+        estimator = make_estimator(name)
+        sketch = estimator.sketch_data(uniform_pair[0])
+        keeps = estimator.meta(estimator.scalar_op(sketch, preserves_zero=True))
+        fills = estimator.meta(estimator.scalar_op(sketch, preserves_zero=False))
+        assert keeps.sparsity < 0.1
+        assert fills.sparsity == pytest.approx(1.0)
+
+    def test_sketch_meta_fallback(self, name):
+        estimator = make_estimator(name)
+        meta = MatrixMeta(100, 50, 0.1)
+        sketch = estimator.sketch_meta(meta)
+        assert estimator.meta(sketch).sparsity == pytest.approx(0.1, abs=0.03)
+
+    def test_blocked_matrix_input(self, name, uniform_pair):
+        estimator = make_estimator(name)
+        blocked = BlockedMatrix.from_scipy(uniform_pair[0], 64)
+        sketch = estimator.sketch_data(blocked)
+        assert estimator.meta(sketch).rows == 400
+
+
+class TestSkewSensitivity:
+    def test_metadata_blind_to_skew(self, skewed_matrix):
+        """The uniform assumption underestimates gram-matrix density on
+        skewed data — the §4.2 failure mode."""
+        metadata = MetadataEstimator()
+        sketch = metadata.sketch_data(skewed_matrix)
+        estimate = metadata.meta(metadata.matmul(
+            sketch, metadata.transpose(sketch))).sparsity
+        truth = true_matmul_sparsity(skewed_matrix, skewed_matrix.T)
+        assert estimate < truth / 2
+
+    def test_mnc_sees_skew(self, skewed_matrix):
+        mnc = MNCEstimator()
+        sketch = mnc.sketch_data(skewed_matrix)
+        estimate = mnc.meta(mnc.matmul(sketch, mnc.transpose(sketch))).sparsity
+        truth = true_matmul_sparsity(skewed_matrix, skewed_matrix.T)
+        assert truth / 2 <= estimate <= truth * 2
+
+    def test_mnc_beats_metadata_on_skew(self, skewed_matrix):
+        truth = true_matmul_sparsity(skewed_matrix, skewed_matrix.T)
+        errors = {}
+        for name in ("metadata", "mnc", "densitymap"):
+            est = make_estimator(name)
+            sketch = est.sketch_data(skewed_matrix)
+            guess = est.meta(est.matmul(sketch, est.transpose(sketch))).sparsity
+            errors[name] = abs(guess - truth)
+        assert errors["mnc"] < errors["metadata"]
+
+    def test_mnc_row_counts_track_structure(self, skewed_matrix):
+        mnc = MNCEstimator()
+        sketch = mnc.sketch_data(skewed_matrix)
+        true_rows = np.diff(skewed_matrix.tocsr().indptr)
+        assert np.array_equal(sketch.row_counts, true_rows)
+
+
+class TestEstimationCost:
+    def test_metadata_is_free(self, uniform_pair):
+        metadata = MetadataEstimator()
+        metadata.sketch_data(uniform_pair[0])
+        assert metadata.stats_collection_flops == 0.0
+
+    def test_mnc_pays_a_scan(self, uniform_pair):
+        mnc = MNCEstimator()
+        mnc.sketch_data(uniform_pair[0])
+        assert mnc.stats_collection_flops >= uniform_pair[0].nnz
+
+    def test_sampling_cheaper_than_mnc(self, uniform_pair):
+        sampling = SamplingEstimator(sample_fraction=0.05)
+        mnc = MNCEstimator()
+        sampling.sketch_data(uniform_pair[0])
+        mnc.sketch_data(uniform_pair[0])
+        assert sampling.stats_collection_flops < mnc.stats_collection_flops
+
+
+class TestOperatorAlgebra:
+    @pytest.mark.parametrize("name", ["metadata", "mnc", "densitymap", "exact"])
+    def test_add_union_bound(self, name, uniform_pair):
+        estimator = make_estimator(name)
+        a, _ = uniform_pair
+        sketch = estimator.sketch_data(a)
+        doubled = estimator.add(sketch, sketch)
+        single = estimator.meta(sketch).sparsity
+        total = estimator.meta(doubled).sparsity
+        assert single <= total <= min(1.0, 2 * single) + 1e-9
+
+    @pytest.mark.parametrize("name", ["metadata", "mnc", "densitymap", "exact"])
+    def test_multiply_intersection_bound(self, name, uniform_pair):
+        estimator = make_estimator(name)
+        a, _ = uniform_pair
+        sketch = estimator.sketch_data(a)
+        squared = estimator.multiply(sketch, sketch)
+        assert estimator.meta(squared).sparsity <= \
+            estimator.meta(sketch).sparsity + 1e-9
+
+    @pytest.mark.parametrize("name", ["metadata", "mnc", "densitymap", "exact"])
+    def test_divide_keeps_numerator(self, name, uniform_pair):
+        estimator = make_estimator(name)
+        sketch = estimator.sketch_data(uniform_pair[0])
+        divided = estimator.divide(sketch, sketch)
+        assert estimator.meta(divided).sparsity == pytest.approx(
+            estimator.meta(sketch).sparsity)
+
+    def test_exact_matmul_is_exact(self, uniform_pair):
+        exact = ExactEstimator()
+        a, b = uniform_pair
+        out = exact.matmul(exact.sketch_data(a), exact.sketch_data(b))
+        assert exact.meta(out).sparsity == pytest.approx(
+            true_matmul_sparsity(a, b))
+
+    def test_density_map_local_structure(self, rng):
+        # A dense corner stays a dense corner through the density map.
+        corner = np.zeros((128, 128))
+        corner[:16, :16] = 1.0
+        dm = DensityMapEstimator(grid_size=8)
+        sketch = dm.sketch_data(sp.csr_matrix(corner))
+        assert sketch.grid[0, 0] == pytest.approx(1.0)
+        assert sketch.grid[-1, -1] == pytest.approx(0.0)

@@ -1,0 +1,164 @@
+"""Engine tests: factory, policies, and the paper's qualitative orderings."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig
+from repro.data import load_dataset
+from repro.algorithms import get_algorithm, run_reference
+from repro.engines import ENGINES, make_engine
+from repro.errors import OptimizerError
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    """A scaled-down cri1-like dense dataset shared across engine tests."""
+    cluster = ClusterConfig(driver_memory_bytes=120_000,
+                            broadcast_limit_bytes=30_000, block_size=128)
+    dataset = load_dataset("cri1", scale=0.25)
+    return cluster, dataset
+
+
+def run(engine_name, algo_name, cluster, dataset, iterations=5, **kwargs):
+    algo = get_algorithm(algo_name)
+    meta, data = algo.make_inputs(dataset.matrix)
+    engine = make_engine(engine_name, cluster, **kwargs)
+    result = engine.run(algo.program(iterations), meta, data,
+                        symmetric=algo.symmetric_inputs, iterations=iterations)
+    return result, algo, data
+
+
+class TestFactory:
+    def test_all_registered_engines_instantiate(self):
+        for name in ENGINES:
+            assert make_engine(name).name == name
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            make_engine("oracle12c")
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("engine_name", ["systemds*", "systemds", "remac",
+                                             "remac-conservative",
+                                             "remac-aggressive", "pbdr", "scidb"])
+    def test_engines_agree_with_reference(self, small_world, engine_name):
+        cluster, dataset = small_world
+        result, algo, data = run(engine_name, "gd", cluster, dataset)
+        reference = run_reference("gd", data, 5)
+        assert np.allclose(result.value("x"), reference["x"],
+                           atol=1e-6, rtol=1e-5)
+
+    def test_dfp_engines_agree(self, small_world):
+        cluster, dataset = small_world
+        for engine_name in ("systemds", "remac"):
+            result, algo, data = run(engine_name, "dfp", cluster, dataset)
+            reference = run_reference("dfp", data, 5)
+            assert np.allclose(result.value("H"), reference["H"],
+                               atol=1e-5, rtol=1e-4), engine_name
+
+    def test_spores_runs_partial_dfp(self, small_world):
+        cluster, dataset = small_world
+        result, algo, data = run("spores", "partial_dfp", cluster, dataset)
+        reference = run_reference("partial_dfp", data, 1)
+        assert np.allclose(result.value("out"), reference["out"], rtol=1e-8)
+
+    def test_spores_rejects_full_dfp(self, small_world):
+        cluster, dataset = small_world
+        with pytest.raises(OptimizerError, match="partial-DFP"):
+            run("spores", "dfp", cluster, dataset)
+
+
+class TestQualitativeOrderings:
+    def test_remac_beats_systemds_on_dfp(self, small_world):
+        cluster, dataset = small_world
+        systemds, _, _ = run("systemds", "dfp", cluster, dataset)
+        remac, _, _ = run("remac", "dfp", cluster, dataset)
+        assert remac.execution_seconds < systemds.execution_seconds
+
+    def test_explicit_cse_hurts_bfgs(self, small_world):
+        """Fig. 8(b): SystemDS (explicit CSE) is slower than SystemDS* on
+        BFGS because the forced shared subtrees break the chain order."""
+        cluster, dataset = small_world
+        star, _, _ = run("systemds*", "bfgs", cluster, dataset)
+        with_cse, _, _ = run("systemds", "bfgs", cluster, dataset)
+        assert with_cse.execution_seconds > star.execution_seconds
+
+    def test_systemds_beats_always_distributed_engines(self, small_world):
+        """Fig. 11: hybrid execution beats pbdR and SciDB."""
+        cluster, dataset = small_world
+        systemds, _, _ = run("systemds*", "gd", cluster, dataset)
+        pbdr, _, _ = run("pbdr", "gd", cluster, dataset)
+        scidb, _, _ = run("scidb", "gd", cluster, dataset)
+        assert systemds.execution_seconds < pbdr.execution_seconds
+        assert systemds.execution_seconds < scidb.execution_seconds
+
+    def test_adaptive_never_worse_than_both_fixed_strategies(self, small_world):
+        cluster, dataset = small_world
+        times = {}
+        for name in ("remac", "remac-conservative", "remac-aggressive"):
+            result, _, _ = run(name, "dfp", cluster, dataset)
+            times[name] = result.execution_seconds
+        assert times["remac"] <= 1.25 * min(times["remac-conservative"],
+                                            times["remac-aggressive"])
+
+    def test_estimator_variants_run(self, small_world):
+        cluster, dataset = small_world
+        for estimator in ("metadata", "mnc"):
+            result, _, _ = run("remac", "dfp", cluster, dataset,
+                               estimator=estimator)
+            assert result.compiled.notes["estimator"] == estimator
+
+    def test_combiner_variants_run(self, small_world):
+        cluster, dataset = small_world
+        dp, _, _ = run("remac", "gd", cluster, dataset, combiner="dp")
+        enum, _, _ = run("remac", "gd", cluster, dataset, combiner="enum-bfs")
+        assert {(o.kind, o.key) for o in dp.compiled.applied_options} == \
+            {(o.kind, o.key) for o in enum.compiled.applied_options}
+
+
+class TestRunResult:
+    def test_metrics_phases_present(self, small_world):
+        cluster, dataset = small_world
+        result, _, _ = run("remac", "gd", cluster, dataset)
+        assert result.execution_seconds > 0
+        assert result.total_seconds >= result.execution_seconds
+        assert result.compile_wall_seconds > 0
+
+    def test_compilation_charged_into_metrics(self, small_world):
+        cluster, dataset = small_world
+        result, _, _ = run("remac", "gd", cluster, dataset)
+        assert result.metrics.seconds_by_phase["compilation"] >= \
+            result.compile_wall_seconds
+
+
+class TestMigratedEngines:
+    """§8: ReMac's techniques are engine-independent."""
+
+    def test_remac_transforms_pbdr(self, small_world):
+        cluster, dataset = small_world
+        plain, _, _ = run("pbdr", "dfp", cluster, dataset)
+        migrated, _, data = run("remac-pbdr", "dfp", cluster, dataset)
+        assert migrated.execution_seconds < 0.5 * plain.execution_seconds
+        from repro.algorithms import run_reference
+        reference = run_reference("dfp", data, 5)
+        import numpy as np
+        assert np.allclose(migrated.value("H"), reference["H"],
+                           atol=1e-5, rtol=1e-4)
+
+    def test_remac_transforms_scidb(self, small_world):
+        cluster, dataset = small_world
+        plain, _, _ = run("scidb", "gd", cluster, dataset)
+        migrated, _, _ = run("remac-scidb", "gd", cluster, dataset)
+        assert migrated.execution_seconds < 0.5 * plain.execution_seconds
+
+    def test_migrated_plans_adapt_to_substrate(self, small_world):
+        """The cost model prices under the foreign policy, so the chosen
+        options may differ from the SystemDS-substrate choice."""
+        cluster, dataset = small_world
+        native, _, _ = run("remac", "dfp", cluster, dataset)
+        migrated, _, _ = run("remac-pbdr", "dfp", cluster, dataset)
+        assert native.compiled is not None and migrated.compiled is not None
+        # Both apply something; exact sets may legitimately differ.
+        assert native.compiled.applied_options
+        assert migrated.compiled.applied_options

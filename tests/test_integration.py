@@ -1,0 +1,197 @@
+"""End-to-end integration tests across the full pipeline.
+
+Every test runs a complete workload through parse -> optimize -> simulate
+and pins the numerical result against the NumPy reference, plus asserts the
+paper's qualitative performance structure on the minis.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig, OptimizerConfig
+from repro.algorithms import ALGORITHMS, get_algorithm, run_reference
+from repro.core import ReMacOptimizer, build_chains, blockwise_search
+from repro.data import load_dataset
+from repro.engines import make_engine
+from repro.runtime import Executor
+
+ITERATIONS = 5
+TOLERANCES = {"gd": 1e-6, "dfp": 1e-4, "bfgs": 1e-4, "gnmf": 1e-6,
+              "partial_dfp": 1e-6, "ridge": 1e-6, "power_iteration": 1e-6, "logistic": 1e-6}
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return ClusterConfig(driver_memory_bytes=120_000,
+                         broadcast_limit_bytes=30_000, block_size=128)
+
+
+@pytest.mark.parametrize("algo_name", sorted(ALGORITHMS))
+@pytest.mark.parametrize("dataset_name", ["cri1", "cri2"])
+def test_remac_matches_reference(cluster, algo_name, dataset_name):
+    algo = get_algorithm(algo_name)
+    dataset = load_dataset(dataset_name, scale=0.15)
+    meta, data = algo.make_inputs(dataset.matrix)
+    engine = make_engine("remac", cluster)
+    result = engine.run(algo.program(ITERATIONS), meta, data,
+                        symmetric=algo.symmetric_inputs, iterations=ITERATIONS)
+    reference = run_reference(algo_name, data, ITERATIONS)
+    tolerance = TOLERANCES[algo_name]
+    for output in algo.outputs:
+        assert np.allclose(result.value(output), reference[output],
+                           atol=tolerance, rtol=tolerance * 10), \
+            f"{algo_name}/{dataset_name}: {output} diverged"
+
+
+def test_cost_model_predicts_simulated_time(cluster):
+    """The honest-accounting property: with an accurate estimator the
+    predicted cost tracks the charged simulated execution time closely."""
+    algo = get_algorithm("dfp")
+    dataset = load_dataset("cri1", scale=0.25)
+    meta, data = algo.make_inputs(dataset.matrix)
+    engine = make_engine("remac", cluster, estimator="mnc")
+    result = engine.run(algo.program(8), meta, data,
+                        symmetric=algo.symmetric_inputs, iterations=8)
+    predicted = result.compiled.estimated_cost
+    charged = result.execution_seconds
+    assert predicted == pytest.approx(charged, rel=0.5)
+
+
+def test_single_node_vs_distributed_inversion(cluster):
+    """Fig. 3: the detrimental order-changing plan loses far less absolute
+    time on a single node — the switch to matrix-matrix multiplies costs
+    transmission, which only exists on a cluster."""
+    algo = get_algorithm("dfp")
+    dataset = load_dataset("cri2", scale=0.3)
+    meta, data = algo.make_inputs(dataset.matrix)
+
+    def penalty(config):
+        aggressive = make_engine("remac-aggressive", config)
+        conservative = make_engine("remac-conservative", config)
+        time_a = aggressive.run(algo.program(ITERATIONS), meta, data,
+                                symmetric=algo.symmetric_inputs,
+                                iterations=ITERATIONS).execution_seconds
+        time_c = conservative.run(algo.program(ITERATIONS), meta, data,
+                                  symmetric=algo.symmetric_inputs,
+                                  iterations=ITERATIONS).execution_seconds
+        return time_a - time_c
+
+    distributed_penalty = penalty(cluster)
+    single_penalty = penalty(cluster.as_single_node())
+    assert distributed_penalty > 0, "order change must hurt on the cluster"
+    assert single_penalty < 0.5 * distributed_penalty
+
+
+def test_all_eliminations_preserve_loop_count(cluster):
+    """Optimized programs iterate exactly as often as the original."""
+    algo = get_algorithm("gd")
+    dataset = load_dataset("red1", scale=0.2)
+    meta, data = algo.make_inputs(dataset.matrix)
+    compiled = ReMacOptimizer(cluster).compile(algo.program(7), meta, data,
+                                               iterations=7)
+    executor = Executor(cluster)
+    executor.run(compiled, data, symmetric=algo.symmetric_inputs)
+    assert executor.loop_iterations == [7]
+
+
+def test_option_counts_scale_with_algorithm_complexity(cluster):
+    """DFP/BFGS (chains of 8) expose far more options than GD (chains of
+    2-3) — the §2.1 motivation for automation."""
+    counts = {}
+    dataset = load_dataset("cri2", scale=0.1)
+    for name in ("gd", "dfp", "bfgs"):
+        algo = get_algorithm(name)
+        meta, _data = algo.make_inputs(dataset.matrix)
+        chains = build_chains(algo.program(5), meta)
+        counts[name] = len(blockwise_search(chains).options)
+    assert counts["gd"] < counts["dfp"] <= counts["bfgs"]
+    assert counts["dfp"] >= 6
+
+
+def test_zipf_skew_changes_remac_plan_quality(cluster):
+    """§6.5: the MNC-backed cost model senses skew via the estimator; the
+    resulting ReMac plans never lose to SystemDS on any skew level."""
+    algo = get_algorithm("dfp")
+    for name in ("zipf-0.0", "zipf-2.8"):
+        dataset = load_dataset(name, scale=0.3)
+        meta, data = algo.make_inputs(dataset.matrix)
+        remac = make_engine("remac", cluster, estimator="mnc")
+        systemds = make_engine("systemds", cluster)
+        t_remac = remac.run(algo.program(ITERATIONS), meta, data,
+                            symmetric=algo.symmetric_inputs,
+                            iterations=ITERATIONS).execution_seconds
+        t_sysds = systemds.run(algo.program(ITERATIONS), meta, data,
+                               symmetric=algo.symmetric_inputs,
+                               iterations=ITERATIONS).execution_seconds
+        assert t_remac <= t_sysds * 1.05, name
+
+
+def test_work_balance_stays_uniform(cluster):
+    """Fig. 13: hash partitioning keeps per-worker data near 1/num_workers
+    under moderate skew; the paper smooths extreme skew with many more
+    (1000x1000 over 58M rows) blocks than the minis have."""
+    algo = get_algorithm("dfp")
+    dataset = load_dataset("zipf-1.4", scale=0.5)
+    meta, data = algo.make_inputs(dataset.matrix)
+    engine = make_engine("remac", cluster)
+    result = engine.run(algo.program(3), meta, data,
+                        symmetric=algo.symmetric_inputs, iterations=3)
+    proportions = result.metrics.worker_proportions(cluster.num_workers)
+    uniform = 1.0 / cluster.num_workers
+    assert max(proportions) < 2.5 * uniform
+
+
+def test_work_balance_bounded_under_extreme_skew(cluster):
+    """Even at zipf-2.8 (95% of non-zeros in 5% of rows) no worker hosts a
+    majority of the data — hashing still spreads the hot blocks."""
+    algo = get_algorithm("dfp")
+    dataset = load_dataset("zipf-2.8", scale=0.5)
+    meta, data = algo.make_inputs(dataset.matrix)
+    engine = make_engine("remac", cluster)
+    result = engine.run(algo.program(3), meta, data,
+                        symmetric=algo.symmetric_inputs, iterations=3)
+    proportions = result.metrics.worker_proportions(cluster.num_workers)
+    assert max(proportions) < 0.55
+
+
+def test_input_partition_phase_isolated(cluster):
+    """Fig. 12: ingest cost appears in its own phase and does not change
+    which options ReMac applies."""
+    algo = get_algorithm("dfp")
+    dataset = load_dataset("cri2", scale=0.2)
+    meta, data = algo.make_inputs(dataset.matrix)
+    engine = make_engine("remac", cluster)
+    without = engine.run(algo.program(3), meta, data,
+                         symmetric=algo.symmetric_inputs, iterations=3)
+    with_ingest = engine.run(algo.program(3), meta, data,
+                             symmetric=algo.symmetric_inputs, iterations=3,
+                             charge_partition=True)
+    assert with_ingest.metrics.seconds_by_phase["input_partition"] > 0
+    assert without.metrics.seconds_by_phase.get("input_partition", 0.0) == 0.0
+    assert {(o.kind, o.key) for o in without.compiled.applied_options} == \
+        {(o.kind, o.key) for o in with_ingest.compiled.applied_options}
+
+
+def test_metadata_estimator_mispick_on_heavy_tail():
+    """§6.3.2: on heavy-tailed data the metadata estimator misjudges AᵀA's
+    density ~5x, mispredicts its plan's cost, and picks a worse plan than
+    MNC — whose prediction stays essentially exact."""
+    full_cluster = ClusterConfig()
+    algo = get_algorithm("dfp")
+    dataset = load_dataset("zipf-tail")
+    meta, data = algo.make_inputs(dataset.matrix)
+    results = {}
+    for estimator in ("metadata", "mnc"):
+        engine = make_engine("remac", full_cluster, estimator=estimator)
+        results[estimator] = engine.run(algo.program(20), meta, data,
+                                        symmetric=algo.symmetric_inputs,
+                                        iterations=20)
+    md, mnc = results["metadata"], results["mnc"]
+    # MNC's prediction is tight; metadata's is badly off.
+    assert mnc.compiled.estimated_cost == pytest.approx(
+        mnc.execution_seconds, rel=0.15)
+    md_error = abs(md.compiled.estimated_cost - md.execution_seconds) \
+        / md.execution_seconds
+    assert md_error > 0.3
+    # And the MD plan is measurably slower.
+    assert mnc.execution_seconds < 0.9 * md.execution_seconds

@@ -1,0 +1,82 @@
+"""Printer tests: round-trip stability and minimal parenthesization."""
+
+import pytest
+
+from repro.lang import format_expr, format_program, parse, parse_expression
+
+
+ROUND_TRIP_CASES = [
+    "A %*% B",
+    "A %*% B %*% C",
+    "A %*% (B %*% C)",
+    "t(A) %*% A %*% d",
+    "A + B * C",
+    "(A + B) * C",
+    "A - B - C",
+    "A - (B - C)",
+    "A / B / C",
+    "A / (B / C)",
+    "2 * t(d) %*% t(A) %*% A %*% d",
+    "H - H %*% d %*% t(d) / (t(d) %*% d)",
+    "sum(A %*% B)",
+    "-A",
+    "A %*% (-B)",
+]
+
+
+@pytest.mark.parametrize("source", ROUND_TRIP_CASES)
+def test_expression_round_trip(source):
+    """parse -> print -> parse reaches a fixpoint equal to the original AST."""
+    expr = parse_expression(source)
+    printed = format_expr(expr)
+    assert parse_expression(printed) == expr
+
+
+@pytest.mark.parametrize("source", ROUND_TRIP_CASES)
+def test_print_is_stable(source):
+    expr = parse_expression(source)
+    once = format_expr(expr)
+    twice = format_expr(parse_expression(once))
+    assert once == twice
+
+
+def test_right_associated_subtraction_keeps_parens():
+    expr = parse_expression("A - (B - C)")
+    assert format_expr(expr) == "A - (B - C)"
+
+
+def test_left_associated_subtraction_drops_parens():
+    expr = parse_expression("(A - B) - C")
+    assert format_expr(expr) == "A - B - C"
+
+
+def test_matmul_right_assoc_parens():
+    expr = parse_expression("A %*% (B %*% C)")
+    assert format_expr(expr) == "A %*% (B %*% C)"
+
+
+def test_program_round_trip():
+    source = """
+input A, b, x
+g = t(A) %*% (A %*% x - b)
+i = 0
+while (i < 10) {
+  x = x - 0.01 * g
+  i = i + 1
+}
+"""
+    program = parse(source, scalar_names={"i"})
+    printed = format_program(program)
+    reparsed = parse(printed, scalar_names={"i"})
+    assert format_program(reparsed) == printed
+    assert reparsed.inputs == ["A", "b", "x"]
+
+
+def test_while_condition_printed():
+    program = parse("while (i < 10) { i = i + 1 }", scalar_names={"i"})
+    assert "while (i < 10)" in format_program(program)
+
+
+def test_comparison_printing():
+    expr = parse_expression("i + 1 <= n * 2", scalar_names={"i", "n"})
+    assert format_expr(expr) == "i + 1 <= n * 2"

@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ClusterConfig
+from repro.core.normalize import normalize, push_down_transposes
+from repro.core.search import blockwise_search
+from repro.core.chains import build_chains
+from repro.core.treewise import catalan, plan_tree_count
+from repro.lang import format_expr, parse_expression
+from repro.lang.ast import Expr, MatMul, MatrixRef, Transpose
+from repro.lang.program import Program, Assign
+from repro.matrix.blocked import BlockedMatrix
+from repro.matrix.meta import MatrixMeta
+from repro.matrix import sparsity_rules as rules
+from repro.matrix.partitioner import worker_of_block
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+sparsities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+dims = st.integers(min_value=1, max_value=64)
+small_arrays = st.integers(min_value=2, max_value=40).flatmap(
+    lambda rows: st.integers(min_value=2, max_value=40).map(
+        lambda cols: np.random.default_rng(rows * 100 + cols)
+        .random((rows, cols))))
+
+
+@st.composite
+def chain_expressions(draw):
+    """Random matrix chains over square matrices with random transposes."""
+    length = draw(st.integers(min_value=2, max_value=6))
+    names = [draw(st.sampled_from("ABCDE")) for _ in range(length)]
+    expr: Expr = _leaf(names[0], draw(st.booleans()))
+    for name in names[1:]:
+        expr = MatMul(expr, _leaf(name, draw(st.booleans())))
+    if draw(st.booleans()):
+        expr = Transpose(expr)
+    return expr
+
+
+def _leaf(name: str, transposed: bool) -> Expr:
+    ref = MatrixRef(name)
+    return Transpose(ref) if transposed else ref
+
+
+SQUARE_ENV = {name: MatrixMeta(16, 16, 0.5) for name in "ABCDE"}
+
+
+# ----------------------------------------------------------------------
+# Sparsity algebra
+# ----------------------------------------------------------------------
+class TestSparsityRuleProperties:
+    @given(sparsities, sparsities, dims)
+    def test_matmul_sparsity_in_unit_interval(self, sa, sb, k):
+        assert 0.0 <= rules.matmul_sparsity(sa, sb, k) <= 1.0
+
+    @given(sparsities, sparsities, dims)
+    def test_matmul_sparsity_monotone_in_inputs(self, sa, sb, k):
+        base = rules.matmul_sparsity(sa, sb, k)
+        more = rules.matmul_sparsity(min(1.0, sa + 0.1), sb, k)
+        assert more >= base - 1e-12
+
+    @given(sparsities, sparsities)
+    def test_add_at_least_max_at_most_sum(self, sa, sb):
+        out = rules.add_sparsity(sa, sb)
+        assert max(sa, sb) - 1e-12 <= out <= min(1.0, sa + sb) + 1e-12
+
+    @given(sparsities, sparsities)
+    def test_mul_at_most_min(self, sa, sb):
+        assert rules.mul_sparsity(sa, sb) <= min(sa, sb) + 1e-12
+
+    @given(sparsities, dims)
+    def test_dense_matmul_dense_is_dense(self, sb, k):
+        assert rules.matmul_sparsity(1.0, 1.0, k) == 1.0
+        del sb
+
+
+# ----------------------------------------------------------------------
+# Blocked matrices
+# ----------------------------------------------------------------------
+class TestBlockedMatrixProperties:
+    @given(small_arrays, st.sampled_from([4, 8, 16, 32]))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip(self, array, block_size):
+        blocked = BlockedMatrix.from_numpy(array, block_size)
+        assert np.allclose(blocked.to_numpy(), array)
+
+    @given(small_arrays, st.sampled_from([4, 8, 16]))
+    @settings(max_examples=30, deadline=None)
+    def test_transpose_involution(self, array, block_size):
+        blocked = BlockedMatrix.from_numpy(array, block_size)
+        assert np.allclose(blocked.transpose().transpose().to_numpy(), array)
+
+    @given(small_arrays, st.sampled_from([4, 8, 16]))
+    @settings(max_examples=30, deadline=None)
+    def test_gram_matrix_symmetric(self, array, block_size):
+        blocked = BlockedMatrix.from_numpy(array, block_size)
+        gram = blocked.transpose().matmul(blocked).to_numpy()
+        assert np.allclose(gram, gram.T)
+
+    @given(small_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_scale_linear(self, array):
+        blocked = BlockedMatrix.from_numpy(array, 8)
+        assert np.allclose(blocked.scale(3.0).to_numpy(),
+                           blocked.add(blocked).add(blocked).to_numpy())
+
+    @given(st.integers(0, 1000), st.integers(0, 1000),
+           st.integers(1, 32))
+    def test_partitioner_in_range(self, bi, bj, workers):
+        assert 0 <= worker_of_block(bi, bj, workers) < workers
+
+
+# ----------------------------------------------------------------------
+# Normalization and search invariants
+# ----------------------------------------------------------------------
+class TestNormalizationProperties:
+    @given(chain_expressions())
+    @settings(max_examples=60, deadline=None)
+    def test_push_down_leaves_only_leaf_transposes(self, expr):
+        pushed = push_down_transposes(expr, env=SQUARE_ENV)
+        for node in pushed.walk():
+            if isinstance(node, Transpose):
+                assert isinstance(node.child, MatrixRef)
+
+    @given(chain_expressions())
+    @settings(max_examples=60, deadline=None)
+    def test_normalize_idempotent(self, expr):
+        once = normalize(expr, env=SQUARE_ENV)
+        assert normalize(once, env=SQUARE_ENV) == once
+
+    @given(chain_expressions())
+    @settings(max_examples=30, deadline=None)
+    def test_normalize_preserves_value(self, expr):
+        from repro.runtime import Executor
+        executor = Executor(ClusterConfig().as_single_node())
+        rng = np.random.default_rng(42)
+        env = {name: executor.kernels.load(name, rng.random((16, 16)))
+               for name in "ABCDE"}
+        before = executor.evaluate(expr, env).matrix.to_numpy()
+        after = executor.evaluate(normalize(expr, env=SQUARE_ENV),
+                                  env).matrix.to_numpy()
+        assert np.allclose(before, after)
+
+    @given(chain_expressions())
+    @settings(max_examples=40, deadline=None)
+    def test_printer_round_trip(self, expr):
+        assert parse_expression(format_expr(expr)) == expr
+
+
+class TestSearchProperties:
+    @given(chain_expressions())
+    @settings(max_examples=40, deadline=None)
+    def test_options_have_disjoint_occurrences(self, expr):
+        program = Program(statements=[Assign("out", expr)])
+        chains = build_chains(program, dict(SQUARE_ENV))
+        for option in blockwise_search(chains).options:
+            occs = sorted(option.occurrences, key=lambda o: (o.site_id, o.start))
+            for a, b in zip(occs, occs[1:]):
+                if a.site_id == b.site_id:
+                    assert a.end < b.start
+
+    @given(chain_expressions())
+    @settings(max_examples=40, deadline=None)
+    def test_window_count_quadratic(self, expr):
+        program = Program(statements=[Assign("out", expr)])
+        chains = build_chains(program, dict(SQUARE_ENV))
+        result = blockwise_search(chains)
+        bound = sum(len(s) * (len(s) + 1) // 2 for s in chains.sites)
+        assert result.windows_visited <= bound
+
+    @given(st.integers(min_value=1, max_value=12))
+    def test_catalan_recurrence(self, n):
+        assert catalan(n) == sum(catalan(i) * catalan(n - 1 - i)
+                                 for i in range(n))
+
+    @given(st.integers(min_value=2, max_value=12))
+    def test_plan_count_dominates_catalan(self, n):
+        assert plan_tree_count(n) == catalan(n - 1) * 2 ** (n - 1)
+        assert plan_tree_count(n) >= catalan(n - 1)
+
+
+# ----------------------------------------------------------------------
+# Meta invariants
+# ----------------------------------------------------------------------
+class TestMetaProperties:
+    @given(dims, dims, sparsities)
+    def test_transpose_involution(self, rows, cols, sparsity):
+        meta = MatrixMeta(rows, cols, sparsity)
+        assert meta.transposed().transposed() == meta
+
+    @given(dims, dims, sparsities)
+    def test_nnz_bounded_by_cells(self, rows, cols, sparsity):
+        meta = MatrixMeta(rows, cols, sparsity)
+        assert 0 <= meta.nnz <= meta.cells
+
+    @given(dims, dims, dims, sparsities, sparsities)
+    def test_matmul_shape_composes(self, m, k, n, sa, sb):
+        left = MatrixMeta(m, k, sa)
+        right = MatrixMeta(k, n, sb)
+        assert left.matmul_shape(right) == (m, n)

@@ -1,0 +1,119 @@
+"""End-to-end property test: the optimizer never changes program semantics.
+
+Hypothesis generates random loop programs over random-shaped matrices —
+chains with transposes, additions, scalar coefficients, loop-constant and
+loop-variant operands — and every strategy's compiled plan must compute
+exactly what the unoptimized program computes. This is the library's
+central safety property: §3.3's "the found options would not affect the
+expression results" as an executable theorem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ClusterConfig, OptimizerConfig
+from repro.core import ReMacOptimizer
+from repro.lang import parse
+from repro.matrix.meta import MatrixMeta
+from repro.runtime import Executor
+
+CLUSTER = ClusterConfig(driver_memory_bytes=40_000,
+                        broadcast_limit_bytes=10_000, block_size=32)
+
+# A fixed cast of matrices; programs draw from these so shapes always fit.
+SHAPES = {
+    "A": (120, 24),   # the "dataset": tall, loop-constant
+    "B": (24, 24),    # square, loop-constant
+    "H": (24, 24),    # square symmetric, updated in the loop
+    "u": (120, 1),
+    "v": (24, 1),     # updated in the loop
+}
+
+
+@st.composite
+def loop_programs(draw):
+    """A random 2-4 statement loop over the cast above, always well-typed."""
+    statements = []
+    # Each statement writes v or H from a shape-correct random chain.
+    n_statements = draw(st.integers(2, 4))
+    for _ in range(n_statements):
+        target = draw(st.sampled_from(["v", "H"]))
+        if target == "v":
+            expr = draw(st.sampled_from([
+                "B %*% v",
+                "H %*% v",
+                "t(A) %*% (A %*% v)",
+                "t(A) %*% A %*% v",
+                "B %*% t(B) %*% v",
+                "H %*% t(A) %*% A %*% v",
+                "v + B %*% v",
+                "0.5 * (t(A) %*% (A %*% v)) + v",
+                "B %*% v / (t(v) %*% v + 1)",
+            ]))
+        else:
+            expr = draw(st.sampled_from([
+                "H - v %*% t(v)",
+                "H - v %*% t(v) / (t(v) %*% v + 1)",
+                "H - H %*% v %*% t(v) %*% H / (t(v) %*% H %*% v + 1)",
+                "H + t(B) %*% B",
+                "H - t(A) %*% A %*% H / (t(v) %*% t(A) %*% A %*% v + 1)",
+            ]))
+        statements.append(f"{target} = {expr}")
+    body = "\n  ".join(statements + ["i = i + 1"])
+    return f"i = 0\nwhile (i < 4) {{\n  {body}\n}}"
+
+
+def _bindings(seed: int):
+    rng = np.random.default_rng(seed)
+    data = {}
+    for name, (rows, cols) in SHAPES.items():
+        matrix = rng.standard_normal((rows, cols)) * 0.05
+        if name == "H":
+            matrix = (matrix + matrix.T) / 2 + np.eye(rows) * 0.5
+        data[name] = matrix
+    data["i"] = 0.0
+    meta = {name: MatrixMeta(rows, cols, 1.0, symmetric=(name == "H"))
+            for name, (rows, cols) in SHAPES.items()}
+    meta["i"] = MatrixMeta(1, 1)
+    return meta, data
+
+
+@given(source=loop_programs(),
+       strategy=st.sampled_from(["adaptive", "conservative", "aggressive",
+                                 "automatic"]),
+       seed=st.integers(0, 10))
+@settings(max_examples=40, deadline=None)
+def test_optimized_program_is_semantically_identical(source, strategy, seed):
+    meta, data = _bindings(seed)
+    program = parse(source, scalar_names={"i"}, max_iterations=4)
+    optimizer = ReMacOptimizer(CLUSTER, OptimizerConfig(strategy=strategy,
+                                                        estimator="metadata"))
+    compiled = optimizer.compile(program, meta, iterations=4)
+
+    env_plain = Executor(CLUSTER).run(program, dict(data), symmetric={"H"})
+    env_opt = Executor(CLUSTER).run(compiled.program, dict(data),
+                                    symmetric={"H"})
+    for var in ("v", "H"):
+        plain = env_plain[var].matrix.to_numpy()
+        optimized = env_opt[var].matrix.to_numpy()
+        assert np.allclose(plain, optimized, atol=1e-8, rtol=1e-6), \
+            (strategy, source)
+
+
+@given(source=loop_programs(), seed=st.integers(0, 5))
+@settings(max_examples=20, deadline=None)
+def test_adaptive_never_predictably_worse_than_plain(source, seed):
+    """The adaptive plan's *predicted* cost never exceeds doing nothing."""
+    meta, _data = _bindings(seed)
+    program = parse(source, scalar_names={"i"}, max_iterations=4)
+    adaptive = ReMacOptimizer(CLUSTER, OptimizerConfig(strategy="adaptive",
+                                                       estimator="metadata"))
+    plain = ReMacOptimizer(CLUSTER, OptimizerConfig(strategy="none",
+                                                    estimator="metadata"))
+    cost_adaptive = adaptive.compile(program, meta, iterations=4).estimated_cost
+    cost_plain = plain.compile(program, meta, iterations=4).estimated_cost
+    assert cost_adaptive <= cost_plain * 1.001, source

@@ -1,0 +1,249 @@
+"""Executor tests: correctness of every operator plus loop semantics."""
+
+import numpy as np
+import pytest
+from scipy import sparse as sp
+
+from repro.errors import ExecutionError
+from repro.lang import parse, parse_expression
+from repro.runtime import ExecutionPolicy, Executor
+
+
+@pytest.fixture
+def executor(cluster):
+    return Executor(cluster)
+
+
+def evaluate(executor, source, bindings, scalar_names=frozenset()):
+    expr = parse_expression(source, scalar_names=scalar_names)
+    env = {}
+    for name, value in bindings.items():
+        if isinstance(value, (int, float)):
+            env[name] = executor.kernels.from_scalar(float(value))
+        else:
+            env[name] = executor.kernels.load(name, value)
+    return executor.evaluate(expr, env)
+
+
+class TestOperators:
+    def test_matmul(self, executor, rng):
+        a, b = rng.random((50, 30)), rng.random((30, 10))
+        out = evaluate(executor, "A %*% B", {"A": a, "B": b})
+        assert np.allclose(out.matrix.to_numpy(), a @ b)
+
+    def test_fused_transpose_left(self, executor, rng):
+        a, v = rng.random((500, 30)), rng.random((500, 1))
+        out = evaluate(executor, "t(A) %*% v", {"A": a, "v": v})
+        assert np.allclose(out.matrix.to_numpy(), a.T @ v)
+
+    def test_fused_transpose_both(self, executor, rng):
+        a, b = rng.random((40, 30)), rng.random((20, 40))
+        out = evaluate(executor, "t(A) %*% t(B)", {"A": a, "B": b})
+        assert np.allclose(out.matrix.to_numpy(), a.T @ b.T)
+
+    def test_materialized_transpose(self, executor, rng):
+        a = rng.random((50, 30))
+        out = evaluate(executor, "t(A)", {"A": a})
+        assert np.allclose(out.matrix.to_numpy(), a.T)
+
+    def test_add_sub_mul_div(self, executor, rng):
+        a = rng.random((20, 20))
+        b = rng.random((20, 20)) + 0.5
+        assert np.allclose(evaluate(executor, "A + B", {"A": a, "B": b})
+                           .matrix.to_numpy(), a + b)
+        assert np.allclose(evaluate(executor, "A - B", {"A": a, "B": b})
+                           .matrix.to_numpy(), a - b)
+        assert np.allclose(evaluate(executor, "A * B", {"A": a, "B": b})
+                           .matrix.to_numpy(), a * b)
+        assert np.allclose(evaluate(executor, "A / B", {"A": a, "B": b})
+                           .matrix.to_numpy(), a / b)
+
+    def test_scalar_broadcast(self, executor, rng):
+        a = rng.random((20, 20))
+        assert np.allclose(evaluate(executor, "2 * A", {"A": a})
+                           .matrix.to_numpy(), 2 * a)
+        assert np.allclose(evaluate(executor, "A + 3", {"A": a})
+                           .matrix.to_numpy(), a + 3)
+        assert np.allclose(evaluate(executor, "A / 2", {"A": a})
+                           .matrix.to_numpy(), a / 2)
+        assert np.allclose(evaluate(executor, "1 - A", {"A": a})
+                           .matrix.to_numpy(), 1 - a)
+
+    def test_division_by_scalar_chain(self, executor, rng):
+        d = rng.random((30, 1))
+        out = evaluate(executor, "d %*% t(d) / (t(d) %*% d)", {"d": d})
+        assert np.allclose(out.matrix.to_numpy(), d @ d.T / (d.T @ d).item())
+
+    def test_scalar_over_matrix_rejected(self, executor, rng):
+        with pytest.raises(ExecutionError):
+            evaluate(executor, "1 / A", {"A": rng.random((5, 5))})
+
+    def test_division_by_zero_scalar_rejected(self, executor, rng):
+        with pytest.raises(ExecutionError):
+            evaluate(executor, "A / 0", {"A": rng.random((5, 5))})
+
+    def test_negation(self, executor, rng):
+        a = rng.random((10, 10))
+        assert np.allclose(evaluate(executor, "-A", {"A": a})
+                           .matrix.to_numpy(), -a)
+
+    def test_sum_and_norm(self, executor, rng):
+        a = rng.random((30, 20))
+        assert evaluate(executor, "sum(A)", {"A": a}).scalar_value() \
+            == pytest.approx(a.sum())
+        assert evaluate(executor, "norm(A)", {"A": a}).scalar_value() \
+            == pytest.approx(np.linalg.norm(a))
+
+    def test_trace(self, executor, rng):
+        a = rng.random((20, 20))
+        assert evaluate(executor, "trace(A)", {"A": a}).scalar_value() \
+            == pytest.approx(np.trace(a))
+        with pytest.raises(ExecutionError):
+            evaluate(executor, "trace(A)", {"A": rng.random((4, 5))})
+
+    def test_nrow_ncol(self, executor, rng):
+        a = rng.random((17, 5))
+        assert evaluate(executor, "nrow(A)", {"A": a}).scalar_value() == 17
+        assert evaluate(executor, "ncol(A)", {"A": a}).scalar_value() == 5
+
+    def test_scalar_math(self, executor):
+        assert evaluate(executor, "sqrt(s)", {"s": 9.0},
+                        {"s"}).scalar_value() == pytest.approx(3.0)
+
+    def test_sparse_input(self, executor, rng):
+        a = sp.random(100, 40, density=0.1, format="csr", random_state=rng)
+        v = rng.random((40, 1))
+        out = evaluate(executor, "A %*% v", {"A": a, "v": v})
+        assert np.allclose(out.matrix.to_numpy(), a @ v)
+
+    def test_undefined_variable(self, executor):
+        with pytest.raises(ExecutionError, match="undefined"):
+            evaluate(executor, "Z %*% Z", {})
+
+
+class TestPrograms:
+    def test_loop_runs_until_condition(self, cluster):
+        program = parse("""
+            s = 0
+            i = 0
+            while (i < 4) {
+              s = s + 2
+              i = i + 1
+            }""", scalar_names={"s", "i"})
+        executor = Executor(cluster)
+        env = executor.run(program, {})
+        assert env["s"].scalar_value() == 8.0
+        assert executor.loop_iterations == [4]
+
+    def test_loop_respects_max_iterations(self, cluster):
+        program = parse("while (1 < 2) { x = x + 1 }", scalar_names={"x"},
+                        max_iterations=5)
+        executor = Executor(cluster)
+        env = executor.run(program, {"x": 0.0})
+        assert env["x"].scalar_value() == 5.0
+
+    def test_loop_condition_must_be_scalar(self, cluster, rng):
+        program = parse("while (A) { x = x + 1 }", scalar_names={"x"},
+                        max_iterations=2)
+        executor = Executor(cluster)
+        with pytest.raises(ExecutionError):
+            executor.run(program, {"A": rng.random((3, 3)), "x": 0.0})
+
+    def test_metrics_accumulate_across_statements(self, cluster, rng):
+        program = parse("u = A %*% v\nw = t(A) %*% u")
+        executor = Executor(cluster)
+        executor.run(program, {"A": rng.random((2000, 50)),
+                               "v": rng.random((50, 1))})
+        assert executor.metrics.execution_seconds > 0
+        assert executor.metrics.operator_counts.get("bmm", 0) >= 1
+
+    def test_charge_partition_records_ingest(self, cluster, rng):
+        program = parse("u = A %*% v")
+        executor = Executor(cluster)
+        executor.run(program, {"A": rng.random((2000, 50)),
+                               "v": rng.random((50, 1))}, charge_partition=True)
+        assert executor.metrics.seconds_by_phase["input_partition"] > 0
+
+    def test_single_node_no_transmission(self, single_node, rng):
+        program = parse("u = A %*% v\nw = t(A) %*% u")
+        executor = Executor(single_node)
+        executor.run(program, {"A": rng.random((2000, 50)),
+                               "v": rng.random((50, 1))})
+        assert executor.metrics.seconds_by_phase.get("transmission", 0.0) == 0.0
+
+
+class TestPolicies:
+    def test_pbdr_distributes_everything(self, cluster, rng):
+        executor = Executor(cluster, ExecutionPolicy.pbdr())
+        a, b = rng.random((30, 20)), rng.random((20, 10))
+        out = evaluate(executor, "A %*% B", {"A": a, "B": b})
+        assert np.allclose(out.matrix.to_numpy(), a @ b)
+        # Even a tiny multiply runs distributed under pbdR's policy.
+        assert executor.metrics.operator_counts.get("cpmm", 0) >= 1
+
+    def test_scidb_densifies_mixed_products(self, cluster, rng):
+        executor = Executor(cluster, ExecutionPolicy.scidb())
+        a = sp.random(200, 100, density=0.05, format="csr", random_state=rng)
+        b = rng.random((100, 20))
+        out = evaluate(executor, "A %*% B", {"A": a, "B": b})
+        assert np.allclose(out.matrix.to_numpy(), a @ b)
+
+
+class TestCellwiseAndStructuralBuiltins:
+    def test_exp_densifies_sparse_matrix(self, executor, rng):
+        a = sp.random(100, 40, density=0.05, format="csr", random_state=rng)
+        out = evaluate(executor, "exp(A)", {"A": a})
+        assert np.allclose(out.matrix.to_numpy(), np.exp(a.toarray()))
+        assert out.meta.sparsity == pytest.approx(1.0)
+
+    def test_sigmoid(self, executor, rng):
+        a = rng.standard_normal((30, 20))
+        out = evaluate(executor, "sigmoid(A)", {"A": a})
+        assert np.allclose(out.matrix.to_numpy(), 1 / (1 + np.exp(-a)))
+
+    def test_sqrt_preserves_zeros(self, executor, rng):
+        a = sp.random(100, 40, density=0.05, format="csr", random_state=rng)
+        out = evaluate(executor, "sqrt(A)", {"A": a})
+        assert out.matrix.nnz == a.nnz
+        assert np.allclose(out.matrix.to_numpy(), np.sqrt(a.toarray()))
+
+    def test_abs(self, executor, rng):
+        a = rng.standard_normal((20, 20))
+        out = evaluate(executor, "abs(A)", {"A": a})
+        assert np.allclose(out.matrix.to_numpy(), np.abs(a))
+
+    def test_rowsums_colsums(self, executor, rng):
+        a = rng.random((50, 30))
+        rows = evaluate(executor, "rowsums(A)", {"A": a})
+        cols = evaluate(executor, "colsums(A)", {"A": a})
+        assert np.allclose(rows.matrix.to_numpy(), a.sum(axis=1, keepdims=True))
+        assert np.allclose(cols.matrix.to_numpy(), a.sum(axis=0, keepdims=True))
+
+    def test_rowsums_on_sparse_multi_block(self, executor, rng):
+        a = sp.random(300, 150, density=0.05, format="csr", random_state=rng)
+        out = evaluate(executor, "rowsums(A)", {"A": a})
+        assert np.allclose(out.matrix.to_numpy(),
+                           np.asarray(a.sum(axis=1)))
+
+    def test_diag(self, executor, rng):
+        a = rng.random((80, 80))
+        out = evaluate(executor, "diag(A)", {"A": a})
+        assert np.allclose(out.matrix.to_numpy(), np.diag(a).reshape(-1, 1))
+
+    def test_diag_nonsquare_rejected(self, executor, rng):
+        from repro.errors import ShapeError
+        with pytest.raises(ShapeError):
+            evaluate(executor, "diag(A)", {"A": rng.random((4, 6))})
+
+    def test_sigmoid_scalar(self, executor):
+        out = evaluate(executor, "sigmoid(s)", {"s": 0.0}, {"s"})
+        assert out.scalar_value() == pytest.approx(0.5)
+
+    def test_distributed_map_charged_compute(self, cluster, rng):
+        executor = Executor(cluster)
+        a = rng.random((3000, 50))  # distributed under the tight budget
+        env = {"A": executor.kernels.load("A", a)}
+        assert env["A"].distributed
+        from repro.lang import parse_expression
+        executor.evaluate(parse_expression("exp(A)"), env)
+        assert executor.metrics.seconds_by_phase["computation"] > 0

@@ -1,0 +1,155 @@
+"""Hybrid dispatch and operator pricing tests."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.matrix import MatrixMeta
+from repro.runtime import BMM, BMM_FLIPPED, CPMM, LOCAL, ExecutionPolicy, decide_matmul
+from repro.runtime.hybrid import decide_ewise, decide_transpose, value_distributed
+from repro.runtime.pricing import (
+    price_aggregate,
+    price_ewise,
+    price_matmul,
+    price_persist,
+    price_transpose,
+)
+
+POLICY = ExecutionPolicy.systemds()
+
+
+def _mm(rows, cols, sp=1.0):
+    return MatrixMeta(rows, cols, sp)
+
+
+class TestMatMulDispatch:
+    def test_small_operands_run_locally(self, cluster):
+        decision = decide_matmul(_mm(20, 20), _mm(20, 20), _mm(20, 20),
+                                 cluster, POLICY)
+        assert decision.impl == LOCAL
+
+    def test_distributed_left_broadcast_right(self, cluster):
+        left = _mm(10_000, 100)   # 8 MB: distributed
+        right = _mm(100, 1)       # vector: broadcastable
+        decision = decide_matmul(left, right, _mm(10_000, 1), cluster, POLICY)
+        assert decision.impl == BMM
+
+    def test_distributed_right_broadcast_left(self, cluster):
+        left = _mm(1, 1000)          # 8 KB row vector: broadcastable
+        right = _mm(1000, 10_000)    # distributed
+        decision = decide_matmul(left, right, _mm(1, 10_000), cluster, POLICY)
+        assert decision.impl == BMM_FLIPPED
+
+    def test_two_large_operands_use_cpmm(self, cluster):
+        left = _mm(10_000, 100)
+        right = _mm(100, 10_000)
+        decision = decide_matmul(left, right, _mm(10_000, 10_000), cluster, POLICY)
+        assert decision.impl == CPMM
+
+    def test_single_node_always_local(self, single_node):
+        decision = decide_matmul(_mm(100_000, 100), _mm(100, 100_000),
+                                 _mm(100_000, 100_000), single_node, POLICY)
+        assert decision.impl == LOCAL
+
+    def test_always_distributed_policy(self, cluster):
+        policy = ExecutionPolicy.pbdr()
+        decision = decide_matmul(_mm(20, 20), _mm(20, 20), _mm(20, 20),
+                                 cluster, policy)
+        assert decision.impl == CPMM  # broadcasts disabled, nothing local
+
+    def test_ewise_local_vs_distributed(self, cluster):
+        assert decide_ewise(_mm(10, 10), _mm(10, 10), _mm(10, 10),
+                            cluster, POLICY) == LOCAL
+        big = _mm(10_000, 100)
+        assert decide_ewise(big, big, big, cluster, POLICY) == "distributed"
+
+    def test_transpose_placement(self, cluster):
+        assert decide_transpose(_mm(10, 10), cluster, POLICY) == LOCAL
+        assert decide_transpose(_mm(10_000, 100), cluster, POLICY) == "distributed"
+
+    def test_value_distributed_force_dense(self, cluster):
+        sparse = _mm(200, 200, 0.002)
+        assert not value_distributed(sparse, cluster, POLICY)
+        assert value_distributed(sparse, cluster, ExecutionPolicy.pbdr())
+
+
+class TestPricing:
+    def test_local_matmul_has_no_transmission(self, cluster):
+        price = price_matmul(_mm(20, 20), _mm(20, 20), _mm(20, 20),
+                             cluster, POLICY)
+        assert price.impl == LOCAL
+        assert price.transmissions == []
+        assert price.compute_seconds > 0
+
+    def test_bmm_price_contains_broadcast(self, cluster):
+        price = price_matmul(_mm(10_000, 100), _mm(100, 1), _mm(10_000, 1),
+                             cluster, POLICY)
+        primitives = {prim for prim, _ in price.transmissions}
+        assert "broadcast" in primitives
+
+    def test_bmm_small_output_collected(self, cluster):
+        price = price_matmul(_mm(1, 10_000), _mm(10_000, 100), _mm(1, 100),
+                             cluster, POLICY)
+        primitives = {prim for prim, _ in price.transmissions}
+        assert "collect" in primitives
+        assert not price.output_distributed
+
+    def test_cpmm_shuffles_both_inputs(self, cluster):
+        left, right = _mm(10_000, 200), _mm(200, 10_000)
+        out = _mm(10_000, 10_000, 1.0)
+        price = price_matmul(left, right, out, cluster, POLICY)
+        shuffle_bytes = sum(b for p, b in price.transmissions if p == "shuffle")
+        from repro.runtime.volumes import matrix_size
+        assert shuffle_bytes >= matrix_size(left) + matrix_size(right)
+
+    def test_fused_transpose_adds_flops_not_shuffle(self, cluster):
+        plain = price_matmul(_mm(100, 10_000), _mm(10_000, 1), _mm(100, 1),
+                             cluster, POLICY)
+        fused = price_matmul(_mm(100, 10_000), _mm(10_000, 1), _mm(100, 1),
+                             cluster, POLICY, left_fused_transpose=True)
+        assert fused.compute_seconds > plain.compute_seconds
+        assert len(fused.transmissions) == len(plain.transmissions)
+
+    def test_materialized_transpose_shuffles(self, cluster):
+        price = price_transpose(_mm(10_000, 100), cluster, POLICY)
+        assert any(p == "shuffle" for p, _ in price.transmissions)
+
+    def test_local_transpose_free_of_transmission(self, cluster):
+        price = price_transpose(_mm(10, 10), cluster, POLICY)
+        assert price.transmissions == []
+
+    def test_cost_is_compute_plus_transmit(self, cluster):
+        price = price_matmul(_mm(10_000, 100), _mm(100, 1), _mm(10_000, 1),
+                             cluster, POLICY)
+        assert price.seconds == pytest.approx(
+            price.compute_seconds + price.transmission_seconds)
+
+    def test_imbalance_scales_compute(self, cluster):
+        balanced = price_matmul(_mm(10_000, 100), _mm(100, 1), _mm(10_000, 1),
+                                cluster, POLICY, imbalance=1.0)
+        skewed = price_matmul(_mm(10_000, 100), _mm(100, 1), _mm(10_000, 1),
+                              cluster, POLICY, imbalance=3.0)
+        assert skewed.compute_seconds == pytest.approx(3 * balanced.compute_seconds)
+
+    def test_persist_only_for_distributed(self, cluster):
+        small = price_persist(_mm(10, 10), cluster, POLICY)
+        big = price_persist(_mm(10_000, 100), cluster, POLICY)
+        assert small.transmissions == []
+        assert any(p == "dfs" for p, _ in big.transmissions)
+
+    def test_aggregate_collects_partials(self, cluster):
+        price = price_aggregate(_mm(10_000, 100), cluster, POLICY)
+        assert any(p == "collect" for p, _ in price.transmissions)
+
+    def test_ewise_broadcasts_local_side(self, cluster):
+        big = _mm(10_000, 100)
+        small = _mm(10_000, 100, 0.00001)  # tiny CSR: stays local
+        price = price_ewise("add", big, small, big, cluster, POLICY)
+        assert any(p == "broadcast" for p, _ in price.transmissions)
+
+    def test_force_dense_raises_transmission(self, cluster):
+        sparse_meta = _mm(10_000, 1000, 0.001)
+        normal = price_matmul(sparse_meta, _mm(1000, 1), _mm(10_000, 1),
+                              cluster, POLICY)
+        dense = price_matmul(sparse_meta, _mm(1000, 1), _mm(10_000, 1),
+                             cluster, ExecutionPolicy.pbdr())
+        assert dense.seconds > normal.seconds
