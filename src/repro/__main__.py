@@ -68,6 +68,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--single-node", action="store_true")
     run.add_argument("--charge-partition", action="store_true",
                      help="include input-partition (ingest) time")
+    run.add_argument("--repeat", type=int, default=1, metavar="N",
+                     help="run the workload N times through one engine "
+                          "(repeats after the first hit the plan cache)")
+    run.add_argument("--no-plan-cache", action="store_true",
+                     help="disable the compiled-plan cache")
+    run.add_argument("--pricing-workers", type=int, default=None, metavar="W",
+                     help="thread-pool width for candidate pricing "
+                          "(1 = serial, 0 = all cores)")
 
     optimize = sub.add_parser("optimize", help="compile a script, print plan")
     optimize.add_argument("script", help="path to a DML-like script file")
@@ -93,6 +101,11 @@ def _command_run(args) -> int:
     if args.estimator and args.engine.startswith("remac") \
             and args.engine == "remac":
         engine_kwargs["estimator"] = args.estimator
+    optimizer_config = OptimizerConfig(
+        plan_cache=not args.no_plan_cache,
+        pricing_workers=args.pricing_workers
+        if args.pricing_workers is not None else 1)
+    engine_kwargs["optimizer_config"] = optimizer_config
     cluster = ClusterConfig()
     if args.single_node:
         cluster = cluster.as_single_node()
@@ -100,10 +113,18 @@ def _command_run(args) -> int:
     algo = get_algorithm(args.algorithm)
     meta, data = algo.make_inputs(dataset.matrix)
     engine = make_engine(args.engine, cluster, **engine_kwargs)
-    result = engine.run(algo.program(args.iterations), meta, data,
-                        symmetric=algo.symmetric_inputs,
-                        iterations=args.iterations,
-                        charge_partition=args.charge_partition)
+    repeat = max(1, args.repeat)
+    result = None
+    for index in range(repeat):
+        result = engine.run(algo.program(args.iterations), meta, data,
+                            symmetric=algo.symmetric_inputs,
+                            iterations=args.iterations,
+                            charge_partition=args.charge_partition)
+        if repeat > 1 and result.compiled is not None:
+            outcome = result.notes.get("plan_cache", "off")
+            print(f"run {index + 1}/{repeat}: compile "
+                  f"{result.compile_wall_seconds * 1e3:.2f} ms "
+                  f"(plan cache {outcome})")
     print(f"engine:    {args.engine}")
     print(f"workload:  {args.algorithm} on {args.dataset} "
           f"({dataset.shape[0]}x{dataset.shape[1]}, "
@@ -118,6 +139,13 @@ def _command_run(args) -> int:
         if phases.get(phase):
             print(f"{phase:>15}: {phases[phase]:.4f} s (simulated)")
     print(f"{'execution':>15}: {result.execution_seconds:.4f} s (simulated)")
+    cache_stats = engine.optimizer.plan_cache_stats
+    if cache_stats is not None:
+        print(f"{'plan cache':>15}: {cache_stats['hits']} hits, "
+              f"{cache_stats['misses']} misses, "
+              f"{cache_stats['evictions']} evictions")
+    else:
+        print(f"{'plan cache':>15}: disabled")
     return 0
 
 

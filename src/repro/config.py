@@ -102,6 +102,16 @@ class OptimizerConfig:
     enum_option_limit: int = 20
     #: Assumed loop iteration count when a loop does not specify one.
     default_iterations: int = 100
+    # -- compilation fast path (perf-only knobs; never change chosen plans) --
+    #: Cache compiled plans keyed by a fingerprint of the program, input
+    #: metadata/data, and all semantic config (opt out: False).
+    plan_cache: bool = True
+    #: Maximum number of compiled plans retained (LRU eviction).
+    plan_cache_size: int = 64
+    #: Memoize operator prices and sketch propagation within one compile.
+    cost_memo: bool = True
+    #: Worker threads for candidate pricing (1 = serial execution).
+    pricing_workers: int = 1
 
 
 DEFAULT_CLUSTER = ClusterConfig()

@@ -6,6 +6,13 @@ from .crossblock import CrossBlockOption, CrossBlockResult, crossblock_search
 from .enumerate import EnumResult, enumerate_combinations
 from .normalize import expand_distributive, normalize, push_down_transposes
 from .optimizer import ReMacOptimizer
+from .parallel import parallel_map, resolve_workers
+from .plancache import (
+    DataTokens,
+    PlanCache,
+    PlanCacheStats,
+    plan_fingerprint,
+)
 from .options import (
     CSE,
     LSE,
@@ -35,6 +42,8 @@ __all__ = [
     "EnumResult", "enumerate_combinations",
     "normalize", "push_down_transposes", "expand_distributive",
     "ReMacOptimizer",
+    "DataTokens", "PlanCache", "PlanCacheStats", "plan_fingerprint",
+    "parallel_map", "resolve_workers",
     "CSE", "LSE", "EliminationOption", "Occurrence",
     "options_contradict", "conflict_free", "count_contradictions",
     "ProbeResult", "probe",

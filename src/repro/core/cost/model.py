@@ -6,6 +6,13 @@ price computed from the *estimated* metas. ``c_O = compute_O + transmit_O``
 (Eq. 3) with compute from FLOP counts (Eq. 4) and transmission from the
 primitive volumes (Eqs. 5-6) — identical formulas to the runtime's clock,
 so estimator error is the model's only error source.
+
+Within one compilation the same (operator, operand sketches) pair is priced
+hundreds of times — once per candidate program, per adaptive round, per
+span table. The model therefore memoizes prices by operand identity (valid
+because :class:`~repro.core.sparsity.memo.MemoizedEstimator` makes repeated
+propagations return shared sketch objects); disable with ``memoize=False``
+to reproduce the unmemoized baseline.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from ...runtime.pricing import (
     price_transpose,
 )
 from ..sparsity.base import Sketch, SparsityEstimator
+from ..sparsity.memo import MemoizedEstimator
 
 
 @dataclass
@@ -43,10 +51,42 @@ class CostModel:
     """Prices logical operators over estimator sketches."""
 
     def __init__(self, config: ClusterConfig, estimator: SparsityEstimator,
-                 policy: ExecutionPolicy | None = None):
+                 policy: ExecutionPolicy | None = None,
+                 memoize: bool = True):
         self.config = config
+        if memoize and not isinstance(estimator, MemoizedEstimator):
+            estimator = MemoizedEstimator(estimator)
         self.estimator = estimator
         self.policy = policy or ExecutionPolicy.systemds()
+        #: price-memo table: op key (kind + operand sketch ids + flags) ->
+        #: (operand refs..., result). Refs pin the keyed ids.
+        self._prices: dict[tuple, tuple] | None = {} if memoize else None
+        self.price_hits = 0
+        self.price_misses = 0
+
+    def _memo(self, key: tuple, operands: tuple, compute):
+        """Memoized operator pricing (identity-keyed, see module docstring)."""
+        if self._prices is None:
+            return compute()
+        entry = self._prices.get(key)
+        if entry is not None:
+            self.price_hits += 1
+            return entry[-1]
+        self.price_misses += 1
+        result = compute()
+        self._prices[key] = (*operands, result)
+        return result
+
+    @property
+    def memo_stats(self) -> dict[str, int]:
+        """Hit/miss counters of the price and sketch memo layers."""
+        stats = {"price_hits": self.price_hits,
+                 "price_misses": self.price_misses}
+        if isinstance(self.estimator, MemoizedEstimator):
+            sketch = self.estimator.stats
+            stats["sketch_hits"] = sketch["hits"]
+            stats["sketch_misses"] = sketch["misses"]
+        return stats
 
     # ------------------------------------------------------------------
     # Sketch plumbing
@@ -80,69 +120,91 @@ class CostModel:
     def matmul(self, left: Sketch, right: Sketch,
                left_fused_transpose: bool = False,
                right_fused_transpose: bool = False) -> Priced:
-        eff_left = self.estimator.transpose(left) if left_fused_transpose else left
-        eff_right = self.estimator.transpose(right) if right_fused_transpose else right
-        out = self.estimator.matmul(eff_left, eff_right)
-        price = price_matmul(self.meta(eff_left), self.meta(eff_right), self.meta(out),
-                             self.config, self.policy,
-                             left_fused_transpose=left_fused_transpose,
-                             right_fused_transpose=right_fused_transpose)
-        return Priced(price, out)
+        def compute() -> Priced:
+            eff_left = self.estimator.transpose(left) if left_fused_transpose else left
+            eff_right = self.estimator.transpose(right) if right_fused_transpose else right
+            out = self.estimator.matmul(eff_left, eff_right)
+            price = price_matmul(self.meta(eff_left), self.meta(eff_right), self.meta(out),
+                                 self.config, self.policy,
+                                 left_fused_transpose=left_fused_transpose,
+                                 right_fused_transpose=right_fused_transpose)
+            return Priced(price, out)
+        key = ("matmul", id(left), id(right),
+               left_fused_transpose, right_fused_transpose)
+        return self._memo(key, (left, right), compute)
 
     def mmchain(self, x: Sketch, v: Sketch) -> Priced:
         """Price the fused t(X) %*% (X %*% v) chain."""
-        inner = self.estimator.matmul(x, v)
-        out = self.estimator.matmul(self.estimator.transpose(x), inner)
-        price = price_mmchain(self.meta(x), self.meta(v), self.meta(out),
-                              self.config, self.policy)
-        return Priced(price, out)
+        def compute() -> Priced:
+            inner = self.estimator.matmul(x, v)
+            out = self.estimator.matmul(self.estimator.transpose(x), inner)
+            price = price_mmchain(self.meta(x), self.meta(v), self.meta(out),
+                                  self.config, self.policy)
+            return Priced(price, out)
+        return self._memo(("mmchain", id(x), id(v)), (x, v), compute)
 
     def ewise(self, kind: str, left: Sketch, right: Sketch) -> Priced:
-        combine = {
-            "add": self.estimator.add,
-            "subtract": self.estimator.subtract,
-            "multiply": self.estimator.multiply,
-            "divide": self.estimator.divide,
-        }[kind]
-        out = combine(left, right)
-        price = price_ewise(kind, self.meta(left), self.meta(right), self.meta(out),
-                            self.config, self.policy)
-        return Priced(price, out)
+        def compute() -> Priced:
+            combine = {
+                "add": self.estimator.add,
+                "subtract": self.estimator.subtract,
+                "multiply": self.estimator.multiply,
+                "divide": self.estimator.divide,
+            }[kind]
+            out = combine(left, right)
+            price = price_ewise(kind, self.meta(left), self.meta(right), self.meta(out),
+                                self.config, self.policy)
+            return Priced(price, out)
+        return self._memo(("ewise", kind, id(left), id(right)), (left, right),
+                          compute)
 
     def transpose(self, operand: Sketch) -> Priced:
-        out = self.estimator.transpose(operand)
-        price = price_transpose(self.meta(operand), self.config, self.policy)
-        return Priced(price, out)
+        def compute() -> Priced:
+            out = self.estimator.transpose(operand)
+            price = price_transpose(self.meta(operand), self.config, self.policy)
+            return Priced(price, out)
+        return self._memo(("transpose", id(operand)), (operand,), compute)
 
     def aggregate(self, operand: Sketch, flop_multiplier: float = 1.0) -> Priced:
-        price = price_aggregate(self.meta(operand), self.config, self.policy,
-                                flop_multiplier=flop_multiplier)
-        return Priced(price, self.estimator.scalar())
+        def compute() -> Priced:
+            price = price_aggregate(self.meta(operand), self.config, self.policy,
+                                    flop_multiplier=flop_multiplier)
+            return Priced(price, self.estimator.scalar())
+        return self._memo(("aggregate", id(operand), flop_multiplier),
+                          (operand,), compute)
 
     def map_cells(self, func_name: str, operand: Sketch) -> Priced:
         """Price a cell-wise builtin map."""
-        from ...lang.ast import ZERO_PRESERVING_BUILTINS
-        from ...runtime.pricing import price_map
-        preserves = func_name in ZERO_PRESERVING_BUILTINS
-        out = self.estimator.scalar_op(operand, preserves_zero=preserves)
-        price = price_map(self.meta(operand), self.meta(out), self.config,
-                          self.policy)
-        return Priced(price, out)
+        def compute() -> Priced:
+            from ...lang.ast import ZERO_PRESERVING_BUILTINS
+            from ...runtime.pricing import price_map
+            preserves = func_name in ZERO_PRESERVING_BUILTINS
+            out = self.estimator.scalar_op(operand, preserves_zero=preserves)
+            price = price_map(self.meta(operand), self.meta(out), self.config,
+                              self.policy)
+            return Priced(price, out)
+        return self._memo(("map_cells", func_name, id(operand)), (operand,),
+                          compute)
 
     def structural(self, kind: str, operand: Sketch) -> Priced:
         """Price rowsums / colsums / diag."""
-        from ...lang.typecheck import _call_meta  # shape rules live there
-        from ...lang.ast import Call, MatrixRef
-        from ...runtime.pricing import price_structural
-        meta_in = self.meta(operand)
-        out_meta = _call_meta(Call(kind, (MatrixRef("__x__"),)),
-                              {"__x__": meta_in})
-        out = self.estimator.sketch_meta(out_meta)
-        price = price_structural(kind, meta_in, out_meta, self.config, self.policy)
-        return Priced(price, out)
+        def compute() -> Priced:
+            from ...lang.typecheck import _call_meta  # shape rules live there
+            from ...lang.ast import Call, MatrixRef
+            from ...runtime.pricing import price_structural
+            meta_in = self.meta(operand)
+            out_meta = _call_meta(Call(kind, (MatrixRef("__x__"),)),
+                                  {"__x__": meta_in})
+            out = self.estimator.sketch_meta(out_meta)
+            price = price_structural(kind, meta_in, out_meta, self.config, self.policy)
+            return Priced(price, out)
+        return self._memo(("structural", kind, id(operand)), (operand,),
+                          compute)
 
     def persist(self, operand: Sketch) -> OpPrice:
-        return price_persist(self.meta(operand), self.config, self.policy)
+        def compute() -> OpPrice:
+            return price_persist(self.meta(operand), self.config, self.policy)
+        return self._memo(("persist", id(operand)), (operand,), compute)
 
     def scalar(self) -> Sketch:
         return self.estimator.scalar()

@@ -49,7 +49,8 @@ def enumerate_combinations(chains: ProgramChains, model: CostModel,
                            order: str = "dfs",
                            option_limit: int = 20,
                            combination_budget: int = 20000,
-                           evaluation: str = "full") -> EnumResult:
+                           evaluation: str = "full",
+                           workers: int = 1) -> EnumResult:
     """Evaluate option subsets exhaustively (within a budget).
 
     ``evaluation`` selects how each combination is priced:
@@ -61,7 +62,13 @@ def enumerate_combinations(chains: ProgramChains, model: CostModel,
     * ``"incremental"`` — a forced-span chain DP over precomputed span
       tables. Much cheaper per combination; used by tests to cross-check
       the probing DP's plan quality on identical objectives.
+
+    Combinations are independent, so ``workers > 1`` prices them on a
+    thread pool. The min-cost reduction runs serially over the results in
+    enumeration order (strict ``<``, first-found wins), so the chosen plan
+    and cost are identical to the serial path.
     """
+    from .parallel import parallel_map
     if order not in ("dfs", "bfs"):
         raise ValueError(f"order must be 'dfs' or 'bfs', got {order!r}")
     if evaluation not in ("full", "incremental"):
@@ -69,9 +76,12 @@ def enumerate_combinations(chains: ProgramChains, model: CostModel,
                          f"got {evaluation!r}")
     started = time.perf_counter()
     envs = statement_sketch_envs(chains, model, input_sketches)
-    tables = build_all_tables(chains, model, envs)
-    costings = {opt.option_id: cost_option(opt, chains, model, tables, envs)
-                for opt in options}
+    tables = build_all_tables(chains, model, envs, workers=workers)
+    all_costings = parallel_map(
+        lambda opt: cost_option(opt, chains, model, tables, envs),
+        options, workers)
+    costings = {opt.option_id: costing
+                for opt, costing in zip(options, all_costings)}
     result = EnumResult(costings=costings)
     result.plain_cost = sum(t.plain_cost[(0, t.n - 1)] for t in tables.values()
                             if t.n >= 2)
@@ -93,12 +103,15 @@ def enumerate_combinations(chains: ProgramChains, model: CostModel,
         subsets = _dfs_subsets(considered)
     else:
         subsets = _bfs_subsets(considered)
+    batch: list[tuple[EliminationOption, ...]] = []
     for subset in subsets:
-        if result.combinations_evaluated >= combination_budget:
+        if len(batch) >= combination_budget:
             result.budget_exhausted = True
             break
-        result.combinations_evaluated += 1
-        cost = evaluator.cost_of(subset)
+        batch.append(subset)
+    result.combinations_evaluated = len(batch)
+    costs = parallel_map(evaluator.cost_of, batch, workers)
+    for subset, cost in zip(batch, costs):
         if cost < best_cost:
             best_cost = cost
             best = subset

@@ -20,6 +20,7 @@ engines.
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 
 from ..config import ClusterConfig, OptimizerConfig
 from ..errors import OptimizerError
@@ -30,6 +31,7 @@ from ..runtime.plan import CompiledProgram
 from .chains import build_chains
 from .cost.evaluate import ProgramCostEvaluator, sketch_inputs
 from .cost.model import CostModel
+from .plancache import PlanCache, plan_fingerprint
 from .rewrite import rewrite_program
 from .search import blockwise_search, explicit_cse_options
 from .sparsity import make_estimator
@@ -39,7 +41,15 @@ from .treewise import treewise_search
 
 
 class ReMacOptimizer:
-    """End-to-end redundancy-elimination optimizer."""
+    """End-to-end redundancy-elimination optimizer.
+
+    Repeated compiles are served by a *compilation fast path*: a plan cache
+    keyed by a fingerprint of everything the plan depends on (warm compiles
+    skip the pipeline entirely), plus memoized sketch propagation and
+    operator pricing and an optional candidate-pricing thread pool on the
+    cold path. All three layers are perf-only: with them disabled or
+    enabled, the chosen plans and predicted costs are identical.
+    """
 
     def __init__(self, cluster: ClusterConfig | None = None,
                  config: OptimizerConfig | None = None,
@@ -47,6 +57,17 @@ class ReMacOptimizer:
         self.cluster = cluster or ClusterConfig()
         self.config = config or OptimizerConfig()
         self.policy = policy or ExecutionPolicy.systemds()
+        #: Compiled-plan LRU (None when disabled via config.plan_cache).
+        self.plan_cache: PlanCache | None = \
+            PlanCache(self.config.plan_cache_size) if self.config.plan_cache \
+            else None
+
+    @property
+    def plan_cache_stats(self) -> dict[str, int] | None:
+        """Hit/miss/eviction counters, or None when the cache is disabled."""
+        if self.plan_cache is None:
+            return None
+        return self.plan_cache.stats.as_dict()
 
     def compile(self, program: Program, inputs: Environment,
                 input_data: dict | None = None,
@@ -58,9 +79,37 @@ class ReMacOptimizer:
         sampling, density map) can sketch real structure.
         """
         started = time.perf_counter()
+        cache_key = None
+        if self.plan_cache is not None:
+            cache_key = plan_fingerprint(
+                program, inputs, self.config, self.cluster, self.policy,
+                iterations=iterations, input_data=input_data,
+                tokens=self.plan_cache.data_tokens)
+            hit = self.plan_cache.get(cache_key)
+            if hit is not None:
+                notes = dict(hit.notes)
+                notes["plan_cache"] = "hit"
+                notes["plan_cache_stats"] = self.plan_cache.stats.as_dict()
+                # A warm compile re-collects no estimator statistics.
+                notes["stats_collection_seconds"] = 0.0
+                return replace(hit, notes=notes,
+                               compile_seconds=time.perf_counter() - started)
+        compiled = self._compile_cold(program, inputs, input_data, iterations,
+                                      started)
+        if self.plan_cache is not None:
+            self.plan_cache.put(cache_key, compiled)
+            compiled.notes["plan_cache"] = "miss"
+            compiled.notes["plan_cache_stats"] = self.plan_cache.stats.as_dict()
+        return compiled
+
+    def _compile_cold(self, program: Program, inputs: Environment,
+                      input_data: dict | None, iterations: int | None,
+                      started: float) -> CompiledProgram:
+        """The full optimization pipeline (no plan-cache shortcut)."""
         check_program(program, inputs)  # fail fast on shape errors
         estimator = make_estimator(self.config.estimator)
-        model = CostModel(self.cluster, estimator, self.policy)
+        model = CostModel(self.cluster, estimator, self.policy,
+                          memoize=self.config.cost_memo)
         sketches = sketch_inputs(model, inputs, input_data)
 
         # Adaptive elimination iterates to a fixpoint: once an option is
@@ -116,6 +165,8 @@ class ReMacOptimizer:
                 "options_found": found_total,
                 "stats_collection_seconds": model.stats_collection_seconds,
                 "strategy_notes": strategy.notes,
+                "cost_memo": model.memo_stats if self.config.cost_memo else None,
+                "pricing_workers": self.config.pricing_workers,
                 **search_notes,
             })
 

@@ -1,0 +1,45 @@
+"""Deterministic fan-out for candidate pricing.
+
+The elimination strategies price many independent candidates — span tables
+per chain site, shared costs per option, whole candidate programs per
+enumerated combination. :func:`parallel_map` runs such a batch over a
+``concurrent.futures`` thread pool while keeping the results in input
+order, so any reduction over them (min-cost plan selection, savings
+ranking) is bit-identical to the serial path: parallelism only reschedules
+independent work, it never reorders a floating-point reduction.
+
+``workers <= 1`` (the default everywhere) bypasses the pool entirely — the
+serial fallback is a plain comprehension with zero thread overhead, and the
+acceptance baseline that existing figure scripts compare against.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+Item = TypeVar("Item")
+Result = TypeVar("Result")
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker-count knob: None/0 -> one per CPU, else as given."""
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    return max(1, workers)
+
+
+def parallel_map(fn: Callable[[Item], Result], items: Iterable[Item],
+                 workers: int = 1) -> list[Result]:
+    """Map ``fn`` over ``items``, preserving input order in the result.
+
+    Serial when ``workers <= 1`` or the batch is trivial; otherwise fans
+    out over a thread pool. Exceptions propagate either way.
+    """
+    batch: Sequence[Item] = items if isinstance(items, (list, tuple)) \
+        else list(items)
+    if workers <= 1 or len(batch) <= 1:
+        return [fn(item) for item in batch]
+    with ThreadPoolExecutor(max_workers=min(workers, len(batch))) as pool:
+        return list(pool.map(fn, batch))

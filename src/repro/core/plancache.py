@@ -1,0 +1,168 @@
+"""Plan cache: fingerprint-keyed LRU of compiled programs.
+
+The north-star deployment compiles the same handful of algorithms over and
+over against datasets whose metadata rarely changes — the workload
+SystemML-style optimizers serve with fusion-plan caches. A compiled plan is
+valid for exactly the inputs the optimizer saw, so the cache key is a
+deterministic fingerprint of everything the optimizer's decisions depend
+on:
+
+* the printed program text (plus each loop's ``max_iterations`` budget,
+  which the printer omits);
+* every input's :class:`~repro.matrix.meta.MatrixMeta` — shape, sparsity,
+  and the symmetric flag the search exploits;
+* identity tokens for any bound input *data* (data-dependent estimators
+  sketch real structure, so two different matrices with equal metadata must
+  not share a plan — tokens are per-object, handed out by a registry that
+  survives as long as the cache);
+* the semantic fields of :class:`~repro.config.OptimizerConfig` (estimator,
+  strategy, search, combiner, budgets — the performance-only knobs like
+  worker counts are excluded so they never fragment the cache);
+* the full :class:`~repro.config.ClusterConfig` and
+  :class:`~repro.runtime.hybrid.ExecutionPolicy` (pricing inputs);
+* the compile-time iteration budget.
+
+Anything that could change the chosen plan or its predicted cost changes
+the fingerprint; anything that could not, does not. Eviction is LRU with
+hit/miss/eviction counters surfaced in compile notes and the CLI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+
+from ..config import ClusterConfig, OptimizerConfig
+from ..lang.printer import format_program
+from ..lang.program import Program
+from ..runtime.hybrid import ExecutionPolicy
+from ..runtime.plan import CompiledProgram
+
+#: OptimizerConfig fields that cannot affect the chosen plan or its
+#: predicted cost — excluded from fingerprints so toggling them never
+#: fragments the cache.
+PERF_ONLY_CONFIG_FIELDS = frozenset({
+    "plan_cache", "plan_cache_size", "cost_memo", "pricing_workers",
+})
+
+
+class DataTokens:
+    """Stable identity tokens for bound input data objects.
+
+    Metadata alone under-determines a plan when a data-dependent estimator
+    (MNC, density map, sampling, exact) sketches the actual matrices, so
+    fingerprints include one token per bound input. Tokens are per-object:
+    the same matrix object always yields the same token (the service case —
+    one resident dataset, many compiles), while a new object — even with
+    equal contents — yields a fresh token, which can only cause a spurious
+    miss, never a wrong hit. Liveness is tracked with weak references so a
+    recycled ``id()`` is never mistaken for the old object.
+    """
+
+    def __init__(self) -> None:
+        self._by_id: dict[int, tuple] = {}
+        self._serial = 0
+
+    def token(self, value) -> str:
+        if value is None:
+            return "none"
+        if isinstance(value, (bool, int, float)):
+            return f"scalar:{value!r}"
+        entry = self._by_id.get(id(value))
+        if entry is not None:
+            ref, token = entry
+            if ref() is value:
+                return token
+        self._serial += 1
+        token = f"obj:{self._serial}"
+        try:
+            self._by_id[id(value)] = (weakref.ref(value), token)
+        except TypeError:  # not weak-referenceable: never cache-hit on it
+            return f"anon:{self._serial}"
+        return token
+
+
+def _config_text(config: OptimizerConfig) -> str:
+    parts = [f"{f.name}={getattr(config, f.name)!r}"
+             for f in fields(config) if f.name not in PERF_ONLY_CONFIG_FIELDS]
+    return ";".join(parts)
+
+
+def plan_fingerprint(program: Program, inputs: dict,
+                     config: OptimizerConfig, cluster: ClusterConfig,
+                     policy: ExecutionPolicy,
+                     iterations: int | None = None,
+                     input_data: dict | None = None,
+                     tokens: DataTokens | None = None) -> str:
+    """Deterministic cache key for one ``compile()`` call."""
+    data = input_data or {}
+    tokens = tokens or DataTokens()
+    meta_lines = []
+    for name in sorted(inputs):
+        meta = inputs[name]
+        symmetric = getattr(meta, "symmetric", False)
+        meta_lines.append(f"{name}:{meta.rows}x{meta.cols}"
+                          f":{meta.sparsity!r}:{symmetric}"
+                          f":{tokens.token(data.get(name))}")
+    parts = [
+        "program", format_program(program),
+        "loops", ",".join(str(loop.max_iterations) for loop in program.loops()),
+        "inputs", "\n".join(meta_lines),
+        "config", _config_text(config),
+        "cluster", repr(cluster),
+        "policy", repr(policy),
+        "iterations", repr(iterations),
+    ]
+    digest = hashlib.sha256("\x1e".join(parts).encode()).hexdigest()
+    return digest
+
+
+@dataclass
+class PlanCacheStats:
+    """Hit/miss/eviction counters of one plan cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
+
+
+class PlanCache:
+    """LRU cache of :class:`CompiledProgram` keyed by plan fingerprint."""
+
+    def __init__(self, maxsize: int = 64):
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self.stats = PlanCacheStats()
+        self.data_tokens = DataTokens()
+        self._entries: OrderedDict[str, CompiledProgram] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> CompiledProgram | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: str, compiled: CompiledProgram) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = compiled
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._entries.clear()

@@ -5,6 +5,7 @@ from __future__ import annotations
 from .base import Sketch, SparsityEstimator, observed_meta, to_support_arrays
 from .densitymap import DensityMapEstimator, DensityMapSketch
 from .exact import ExactEstimator, ExactSketch
+from .memo import MemoizedEstimator
 from .metadata import MetadataEstimator
 from .mnc import MNCEstimator, MNCSketch
 from .sampling import SamplingEstimator
@@ -32,5 +33,5 @@ __all__ = [
     "MetadataEstimator", "MNCEstimator", "MNCSketch",
     "DensityMapEstimator", "DensityMapSketch",
     "SamplingEstimator", "ExactEstimator", "ExactSketch",
-    "make_estimator",
+    "MemoizedEstimator", "make_estimator",
 ]

@@ -24,6 +24,7 @@ from .chains import ProgramChains
 from .cost.model import CostModel
 from .enumerate import enumerate_combinations
 from .options import EliminationOption, options_contradict
+from .parallel import parallel_map, resolve_workers
 from .probe import probe
 from .sparsity.base import Sketch
 
@@ -44,8 +45,14 @@ def choose_options(strategy: str, chains: ProgramChains, model: CostModel,
                    options: list[EliminationOption],
                    input_sketches: dict[str, Sketch],
                    config: OptimizerConfig | None = None) -> StrategyResult:
-    """Dispatch to the requested elimination strategy."""
+    """Dispatch to the requested elimination strategy.
+
+    ``config.pricing_workers`` fans independent candidate pricing out over
+    a thread pool (1 = serial); either way the chosen plan and predicted
+    cost are identical — parallelism never reorders a cost reduction.
+    """
     config = config or OptimizerConfig()
+    workers = resolve_workers(config.pricing_workers)
     started = time.perf_counter()
     if strategy == "none":
         result = StrategyResult(strategy=strategy)
@@ -55,30 +62,35 @@ def choose_options(strategy: str, chains: ProgramChains, model: CostModel,
         # improving the operator order", i.e. it never trades order for
         # reuse — but it does not apply reuses that lose outright either.
         eligible = [o for o in options if o.preserves_order]
-        outcome = probe(chains, model, eligible, input_sketches)
+        outcome = probe(chains, model, eligible, input_sketches,
+                        workers=workers)
         result = StrategyResult(chosen=outcome.chosen, strategy=strategy,
                                 notes={"eligible": len(eligible),
                                        "chain_cost": outcome.chain_cost})
     elif strategy == "aggressive":
         result = _greedy(chains, model, options, input_sketches,
                          predicate=lambda o: True,
-                         order_changing_first=True, strategy=strategy)
+                         order_changing_first=True, strategy=strategy,
+                         workers=workers)
     elif strategy == "automatic":
         result = _maximal(options)
     elif strategy == "adaptive":
-        result = _adaptive(chains, model, options, input_sketches, config)
+        result = _adaptive(chains, model, options, input_sketches, config,
+                           workers)
     else:
         raise ValueError(f"unknown strategy {strategy!r}; known: {STRATEGIES}")
     result.wall_seconds = time.perf_counter() - started
+    result.notes.setdefault("pricing_workers", workers)
     return result
 
 
 def _adaptive(chains: ProgramChains, model: CostModel,
               options: list[EliminationOption],
               input_sketches: dict[str, Sketch],
-              config: OptimizerConfig) -> StrategyResult:
+              config: OptimizerConfig, workers: int = 1) -> StrategyResult:
     if config.combiner == "dp":
-        outcome = probe(chains, model, options, input_sketches)
+        outcome = probe(chains, model, options, input_sketches,
+                        workers=workers)
         return StrategyResult(chosen=outcome.chosen, strategy="adaptive",
                               notes={"chain_cost": outcome.chain_cost,
                                      "plain_cost": outcome.plain_cost,
@@ -87,7 +99,7 @@ def _adaptive(chains: ProgramChains, model: CostModel,
         order = config.combiner.split("-")[1]
         outcome = enumerate_combinations(
             chains, model, options, input_sketches, order=order,
-            option_limit=config.enum_option_limit)
+            option_limit=config.enum_option_limit, workers=workers)
         return StrategyResult(chosen=outcome.chosen, strategy="adaptive",
                               notes={"chain_cost": outcome.chain_cost,
                                      "plain_cost": outcome.plain_cost,
@@ -100,7 +112,8 @@ def _greedy(chains: ProgramChains, model: CostModel,
             options: list[EliminationOption],
             input_sketches: dict[str, Sketch], predicate,
             order_changing_first: bool, strategy: str,
-            require_positive_saving: bool = False) -> StrategyResult:
+            require_positive_saving: bool = False,
+            workers: int = 1) -> StrategyResult:
     """Greedy compatible set in a fixed priority order.
 
     The aggressive strategy does not consult the cost model to *reject*
@@ -111,9 +124,12 @@ def _greedy(chains: ProgramChains, model: CostModel,
     """
     eligible = [o for o in options if predicate(o)]
     envs = statement_sketch_envs(chains, model, input_sketches)
-    tables = build_all_tables(chains, model, envs)
-    savings = {o.option_id: cost_option(o, chains, model, tables, envs).estimated_saving
-               for o in eligible}
+    tables = build_all_tables(chains, model, envs, workers=workers)
+    all_savings = parallel_map(
+        lambda o: cost_option(o, chains, model, tables, envs).estimated_saving,
+        eligible, workers)
+    savings = {o.option_id: saving
+               for o, saving in zip(eligible, all_savings)}
     if require_positive_saving:
         eligible = [o for o in eligible if savings[o.option_id] > 0.0]
 

@@ -65,6 +65,12 @@ class Engine:
         self.optimize = optimize
         self._optimizer = ReMacOptimizer(cluster, self.optimizer_config, self.policy)
 
+    @property
+    def optimizer(self) -> ReMacOptimizer:
+        """The engine's optimizer (shared across runs, so its plan cache
+        warms over repeated compiles of the same workload)."""
+        return self._optimizer
+
     def compile(self, program: Program, inputs: Environment,
                 input_data: dict | None = None,
                 iterations: int | None = None) -> CompiledProgram:

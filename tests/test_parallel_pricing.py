@@ -1,0 +1,67 @@
+"""Parallel candidate pricing chooses exactly the serial plan."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.config import ClusterConfig, OptimizerConfig
+from repro.core import ReMacOptimizer, parallel_map, resolve_workers
+from repro.data import load_dataset
+from repro.lang import format_program
+
+
+def compile_with(workers: int, algorithm: str, combiner: str = "dp",
+                 iterations: int = 10):
+    algo = get_algorithm(algorithm)
+    dataset = load_dataset("cri1", scale=0.2)
+    meta, data = algo.make_inputs(dataset.matrix)
+    optimizer = ReMacOptimizer(
+        ClusterConfig(),
+        OptimizerConfig(plan_cache=False, pricing_workers=workers,
+                        combiner=combiner))
+    return optimizer.compile(algo.program(iterations), meta, data,
+                             iterations=iterations)
+
+
+@pytest.mark.parametrize("algorithm", ["dfp", "gnmf"])
+def test_workers_choose_identical_plan(algorithm):
+    serial = compile_with(1, algorithm)
+    threaded = compile_with(4, algorithm)
+    assert threaded.estimated_cost == serial.estimated_cost
+    assert [str(o) for o in threaded.applied_options] \
+        == [str(o) for o in serial.applied_options]
+    assert format_program(threaded.program) == format_program(serial.program)
+
+
+@pytest.mark.parametrize("combiner", ["enum-dfs", "enum-bfs"])
+def test_enum_combiner_deterministic_under_threads(combiner):
+    serial = compile_with(1, "dfp", combiner=combiner, iterations=5)
+    threaded = compile_with(4, "dfp", combiner=combiner, iterations=5)
+    assert threaded.estimated_cost == serial.estimated_cost
+    assert [str(o) for o in threaded.applied_options] \
+        == [str(o) for o in serial.applied_options]
+
+
+def test_workers_recorded_in_notes():
+    compiled = compile_with(3, "gnmf")
+    assert compiled.notes["pricing_workers"] == 3
+    assert compiled.notes["strategy_notes"]["pricing_workers"] == 3
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        items = list(range(50))
+        assert parallel_map(lambda x: x * x, items, workers=8) \
+            == [x * x for x in items]
+
+    def test_serial_fallback(self):
+        assert parallel_map(lambda x: x + 1, [1, 2, 3], workers=1) == [2, 3, 4]
+        assert parallel_map(lambda x: x + 1, [], workers=8) == []
+
+    def test_resolve_workers(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(4) == 4
+        assert resolve_workers(-2) == 1
+        assert resolve_workers(0) >= 1   # all cores
+        assert resolve_workers(None) >= 1

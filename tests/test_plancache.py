@@ -1,0 +1,203 @@
+"""Plan cache: warm hits are bit-identical, fingerprints invalidate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig, OptimizerConfig
+from repro.core import DataTokens, PlanCache, ReMacOptimizer, plan_fingerprint
+from repro.lang import format_program, parse
+from repro.matrix.meta import MatrixMeta
+from repro.runtime import Executor
+
+GD_SOURCE = """
+input A, b, x, alpha
+i = 0
+while (i < 6) {
+  g = t(A) %*% (A %*% x - b)
+  x = x - alpha * g
+  i = i + 1
+}
+"""
+
+
+@pytest.fixture
+def gd_setup(rng):
+    program = parse(GD_SOURCE, scalar_names={"i", "alpha"})
+    m, n = 600, 30
+    A = rng.random((m, n))
+    inputs = {"A": MatrixMeta(m, n, 1.0), "b": MatrixMeta(m, 1),
+              "x": MatrixMeta(n, 1), "alpha": MatrixMeta(1, 1),
+              "i": MatrixMeta(1, 1)}
+    data = {"A": A, "b": A @ rng.random((n, 1)), "x": np.zeros((n, 1)),
+            "alpha": 1e-6, "i": 0.0}
+    return program, inputs, data
+
+
+class TestCacheHits:
+    def test_second_compile_hits_and_matches(self, cluster, gd_setup):
+        program, inputs, data = gd_setup
+        optimizer = ReMacOptimizer(cluster)
+        cold = optimizer.compile(program, inputs, data, iterations=6)
+        warm = optimizer.compile(program, inputs, data, iterations=6)
+        assert cold.notes["plan_cache"] == "miss"
+        assert warm.notes["plan_cache"] == "hit"
+        assert optimizer.plan_cache_stats == {"hits": 1, "misses": 1,
+                                              "evictions": 0}
+        assert format_program(warm.program) == format_program(cold.program)
+        assert warm.estimated_cost == cold.estimated_cost
+        assert [str(o) for o in warm.applied_options] \
+            == [str(o) for o in cold.applied_options]
+
+    def test_hit_executes_to_identical_results(self, cluster, gd_setup):
+        program, inputs, data = gd_setup
+        optimizer = ReMacOptimizer(cluster)
+        cold = optimizer.compile(program, inputs, data, iterations=6)
+        warm = optimizer.compile(program, inputs, data, iterations=6)
+        x_cold = Executor(cluster).run(cold, data)["x"].matrix.to_numpy()
+        x_warm = Executor(cluster).run(warm, data)["x"].matrix.to_numpy()
+        np.testing.assert_array_equal(x_warm, x_cold)
+
+    def test_warm_compile_skips_stats_collection(self, cluster, gd_setup):
+        program, inputs, data = gd_setup
+        optimizer = ReMacOptimizer(cluster)
+        optimizer.compile(program, inputs, data, iterations=6)
+        warm = optimizer.compile(program, inputs, data, iterations=6)
+        assert warm.notes["stats_collection_seconds"] == 0.0
+
+    def test_disabled_cache(self, cluster, gd_setup):
+        program, inputs, data = gd_setup
+        optimizer = ReMacOptimizer(cluster, OptimizerConfig(plan_cache=False))
+        assert optimizer.plan_cache is None
+        assert optimizer.plan_cache_stats is None
+        compiled = optimizer.compile(program, inputs, data, iterations=6)
+        assert "plan_cache" not in compiled.notes
+        again = optimizer.compile(program, inputs, data, iterations=6)
+        assert "plan_cache" not in again.notes
+
+
+class TestFingerprint:
+    def fingerprint(self, gd_setup, cluster, *, inputs=None, config=None,
+                    cluster_override=None, iterations=6, data=None,
+                    tokens=None):
+        program, default_inputs, default_data = gd_setup
+        optimizer = ReMacOptimizer(cluster_override or cluster,
+                                   config or OptimizerConfig())
+        return plan_fingerprint(
+            program, inputs or default_inputs, optimizer.config,
+            optimizer.cluster, optimizer.policy, iterations=iterations,
+            input_data=data if data is not None else default_data,
+            tokens=tokens or DataTokens())
+
+    def test_stable_for_same_arguments(self, cluster, gd_setup):
+        tokens = DataTokens()
+        a = self.fingerprint(gd_setup, cluster, tokens=tokens)
+        b = self.fingerprint(gd_setup, cluster, tokens=tokens)
+        assert a == b
+
+    def test_metadata_change_invalidates(self, cluster, gd_setup):
+        _, inputs, _ = gd_setup
+        changed = dict(inputs)
+        changed["A"] = MatrixMeta(inputs["A"].rows, inputs["A"].cols, 0.01)
+        assert self.fingerprint(gd_setup, cluster) \
+            != self.fingerprint(gd_setup, cluster, inputs=changed)
+
+    def test_symmetric_flag_invalidates(self, cluster, gd_setup):
+        _, inputs, _ = gd_setup
+        changed = dict(inputs)
+        changed["A"] = inputs["A"].with_symmetric(True) \
+            if inputs["A"].rows == inputs["A"].cols \
+            else MatrixMeta(inputs["A"].cols, inputs["A"].cols, 1.0,
+                            symmetric=True)
+        assert self.fingerprint(gd_setup, cluster) \
+            != self.fingerprint(gd_setup, cluster, inputs=changed)
+
+    def test_estimator_invalidates(self, cluster, gd_setup):
+        assert self.fingerprint(gd_setup, cluster) \
+            != self.fingerprint(gd_setup, cluster,
+                                config=OptimizerConfig(estimator="metadata"))
+
+    def test_strategy_invalidates(self, cluster, gd_setup):
+        assert self.fingerprint(gd_setup, cluster) \
+            != self.fingerprint(gd_setup, cluster,
+                                config=OptimizerConfig(strategy="aggressive"))
+
+    def test_cluster_invalidates(self, cluster, gd_setup):
+        assert self.fingerprint(gd_setup, cluster) \
+            != self.fingerprint(gd_setup, cluster,
+                                cluster_override=cluster.as_single_node())
+
+    def test_iteration_budget_invalidates(self, cluster, gd_setup):
+        assert self.fingerprint(gd_setup, cluster, iterations=6) \
+            != self.fingerprint(gd_setup, cluster, iterations=12)
+
+    def test_perf_only_knobs_do_not_invalidate(self, cluster, gd_setup):
+        """Toggling fast-path knobs must not fragment the cache keyspace."""
+        tokens = DataTokens()
+        base = self.fingerprint(gd_setup, cluster, tokens=tokens)
+        tweaked = self.fingerprint(
+            gd_setup, cluster, tokens=tokens,
+            config=OptimizerConfig(cost_memo=False, pricing_workers=8,
+                                   plan_cache_size=2))
+        assert base == tweaked
+
+    def test_fresh_data_objects_miss(self, cluster, gd_setup, rng):
+        """Different matrices under the same metadata must never hit."""
+        _, _, data = gd_setup
+        tokens = DataTokens()
+        other = dict(data)
+        other["A"] = rng.random(data["A"].shape)
+        assert self.fingerprint(gd_setup, cluster, tokens=tokens) \
+            != self.fingerprint(gd_setup, cluster, data=other, tokens=tokens)
+
+
+class TestDataTokens:
+    def test_same_object_same_token(self, rng):
+        tokens = DataTokens()
+        A = rng.random((4, 4))
+        assert tokens.token(A) == tokens.token(A)
+
+    def test_different_objects_different_tokens(self, rng):
+        tokens = DataTokens()
+        A = rng.random((4, 4))
+        assert tokens.token(A) != tokens.token(A.copy())
+
+    def test_scalars_by_value(self):
+        tokens = DataTokens()
+        assert tokens.token(2.5) == tokens.token(2.5)
+        assert tokens.token(2.5) != tokens.token(3.5)
+        assert tokens.token(None) == tokens.token(None)
+
+
+class TestLRU:
+    def test_eviction_and_stats(self):
+        cache = PlanCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"
+        cache.put("c", 3)           # evicts "b", the least recent
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert len(cache) == 2
+        stats = cache.stats.as_dict()
+        assert stats["evictions"] == 1
+        assert stats["hits"] == 3
+        assert stats["misses"] == 1
+
+    def test_clear(self):
+        cache = PlanCache(maxsize=2)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_optimizer_respects_cache_size(self, cluster, gd_setup):
+        program, inputs, data = gd_setup
+        optimizer = ReMacOptimizer(cluster,
+                                   OptimizerConfig(plan_cache_size=1))
+        optimizer.compile(program, inputs, data, iterations=6)
+        optimizer.compile(program, inputs, data, iterations=12)  # evicts
+        optimizer.compile(program, inputs, data, iterations=6)   # miss again
+        assert optimizer.plan_cache_stats["evictions"] >= 1
