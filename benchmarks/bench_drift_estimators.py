@@ -1,0 +1,53 @@
+"""Predicted-vs-observed cost drift per sparsity estimator (not a paper
+figure; companion to §6.3's estimator-accuracy comparison).
+
+Runs DFP on cri1 once per estimator with an :class:`ExecutionTracer`
+installed and reports, per estimator, how far the compile-time operator
+prices drift from the seconds the simulator actually charges. A better
+sketch should predict intermediate nnz — and therefore operator cost —
+more tightly, so drift is an end-to-end estimator-quality signal: the
+exact oracle bounds what any estimator can achieve.
+"""
+
+import math
+
+from repro.bench import save_report
+from repro.runtime import ExecutionTracer
+
+ESTIMATORS = ("metadata", "mnc", "densitymap", "sampling", "exact")
+
+
+def drift_by_estimator(ctx) -> list[dict]:
+    rows = []
+    for estimator in ESTIMATORS:
+        tracer = ExecutionTracer()
+        result = ctx.run("remac", "dfp", "cri1", estimator=estimator,
+                         tracer=tracer)
+        summary = result.metrics.summary()
+        report = tracer.drift_report()
+        worst = report[0] if report else None
+        rows.append({
+            "estimator": estimator,
+            "operator_spans": int(summary["trace_operator_spans"]),
+            "matched": int(summary["trace_matched_spans"]),
+            "drift_ratio": summary["trace_drift_ratio"],
+            "predicted_s": summary["trace_predicted_seconds"],
+            "observed_s": summary["trace_observed_seconds"],
+            "worst_site": (f"{worst['op']}@{worst['statement']}"
+                           if worst else "-"),
+            "worst_drift": worst["drift_ratio"] if worst else 0.0,
+        })
+    return rows
+
+
+def test_drift_by_estimator(benchmark, ctx):
+    rows = benchmark.pedantic(drift_by_estimator, args=(ctx,), rounds=1,
+                              iterations=1)
+    save_report("drift_estimators", rows,
+                title="Cost drift by sparsity estimator (DFP on cri1)")
+    for row in rows:
+        assert row["operator_spans"] >= 1
+        assert 0 < row["matched"] <= row["operator_spans"]
+        assert math.isfinite(row["drift_ratio"])
+        assert row["drift_ratio"] >= 0.0
+        assert row["observed_s"] > 0.0

@@ -75,7 +75,15 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="disable the compiled-plan cache")
     run.add_argument("--pricing-workers", type=int, default=None, metavar="W",
                      help="thread-pool width for candidate pricing "
-                          "(1 = serial, 0 = all cores)")
+                          "(1 = serial, 0 = one thread per CPU; "
+                          "default: serial)")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="record an operator-level execution trace and "
+                          "write it to PATH as JSON, one span per line; "
+                          "each operator span carries the chosen physical "
+                          "impl, estimated vs observed nnz, and predicted "
+                          "vs simulated cost, and a drift summary is "
+                          "printed after the run")
 
     optimize = sub.add_parser("optimize", help="compile a script, print plan")
     optimize.add_argument("script", help="path to a DML-like script file")
@@ -96,16 +104,26 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _optimizer_config(args) -> OptimizerConfig:
+    """OptimizerConfig from run-command flags.
+
+    ``--pricing-workers`` passes through verbatim so ``0`` keeps its
+    documented one-thread-per-CPU meaning end to end
+    (:func:`repro.core.parallel.resolve_workers`); omitting the flag keeps
+    the config default (serial).
+    """
+    kwargs = {"plan_cache": not args.no_plan_cache}
+    if args.pricing_workers is not None:
+        kwargs["pricing_workers"] = args.pricing_workers
+    return OptimizerConfig(**kwargs)
+
+
 def _command_run(args) -> int:
     engine_kwargs = {}
     if args.estimator and args.engine.startswith("remac") \
             and args.engine == "remac":
         engine_kwargs["estimator"] = args.estimator
-    optimizer_config = OptimizerConfig(
-        plan_cache=not args.no_plan_cache,
-        pricing_workers=args.pricing_workers
-        if args.pricing_workers is not None else 1)
-    engine_kwargs["optimizer_config"] = optimizer_config
+    engine_kwargs["optimizer_config"] = _optimizer_config(args)
     cluster = ClusterConfig()
     if args.single_node:
         cluster = cluster.as_single_node()
@@ -113,13 +131,18 @@ def _command_run(args) -> int:
     algo = get_algorithm(args.algorithm)
     meta, data = algo.make_inputs(dataset.matrix)
     engine = make_engine(args.engine, cluster, **engine_kwargs)
+    tracer = None
+    if args.trace is not None:
+        from .runtime.trace import ExecutionTracer
+        tracer = ExecutionTracer()
     repeat = max(1, args.repeat)
     result = None
     for index in range(repeat):
         result = engine.run(algo.program(args.iterations), meta, data,
                             symmetric=algo.symmetric_inputs,
                             iterations=args.iterations,
-                            charge_partition=args.charge_partition)
+                            charge_partition=args.charge_partition,
+                            tracer=tracer)
         if repeat > 1 and result.compiled is not None:
             outcome = result.notes.get("plan_cache", "off")
             print(f"run {index + 1}/{repeat}: compile "
@@ -146,6 +169,18 @@ def _command_run(args) -> int:
               f"{cache_stats['evictions']} evictions")
     else:
         print(f"{'plan cache':>15}: disabled")
+    if tracer is not None:
+        spans = tracer.write_jsonl(args.trace)
+        operators = sum(1 for _ in tracer.operator_spans())
+        print(f"{'trace':>15}: {spans} spans ({operators} operator) "
+              f"-> {args.trace}")
+        for row in tracer.drift_report()[:5]:
+            target = row["target"] or "(condition)"
+            print(f"  drift {row['drift_ratio']:8.3f}  "
+                  f"{row['op']:<10} {target:<12} "
+                  f"predicted {row['predicted_seconds']:.4f}s "
+                  f"observed {row['observed_seconds']:.4f}s "
+                  f"x{row['executions']}")
     return 0
 
 

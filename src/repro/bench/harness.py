@@ -54,7 +54,8 @@ class BenchContext:
 
     def run(self, engine_name: str, algo_name: str, dataset_name: str,
             charge_partition: bool = False, single_node: bool = False,
-            iterations: int | None = None, **engine_kwargs) -> RunResult:
+            iterations: int | None = None, tracer=None,
+            **engine_kwargs) -> RunResult:
         """Run one engine on one workload under this context."""
         algo, meta, data = self.workload(algo_name, dataset_name)
         cluster = self.cluster.as_single_node() if single_node else self.cluster
@@ -62,7 +63,7 @@ class BenchContext:
         iters = iterations if iterations is not None else self.iterations
         return engine.run(algo.program(iters), meta, data,
                           symmetric=algo.symmetric_inputs, iterations=iters,
-                          charge_partition=charge_partition)
+                          charge_partition=charge_partition, tracer=tracer)
 
     def algorithm(self, name: str) -> Algorithm:
         return get_algorithm(name)

@@ -29,6 +29,11 @@ class MetricsCollector:
     seconds_by_primitive: dict[str, float] = field(default_factory=lambda: defaultdict(float))
     bytes_by_worker: dict[int, float] = field(default_factory=lambda: defaultdict(float))
     operator_counts: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    #: Additive aggregates from an installed execution tracer (see
+    #: :meth:`repro.runtime.trace.ExecutionTracer.metrics_summary`), or None
+    #: when the run was untraced — in which case :meth:`summary` is
+    #: bit-identical to a collector that never heard of tracing.
+    trace_summary: dict[str, float] | None = None
 
     def charge_compute(self, seconds: float) -> None:
         self.seconds_by_phase[PHASE_COMPUTATION] += seconds
@@ -56,9 +61,14 @@ class MetricsCollector:
 
     @property
     def execution_seconds(self) -> float:
-        """Time excluding compilation and input partitioning (Fig. 8(b))."""
-        return (self.seconds_by_phase[PHASE_COMPUTATION]
-                + self.seconds_by_phase[PHASE_TRANSMISSION])
+        """Time excluding compilation and input partitioning (Fig. 8(b)).
+
+        Reads with ``.get``: ``seconds_by_phase`` is a defaultdict, so a
+        ``[]`` read would *insert* zero-valued phases — a read must never
+        mutate the collector or pollute :meth:`summary`/:meth:`merged_with`.
+        """
+        return (self.seconds_by_phase.get(PHASE_COMPUTATION, 0.0)
+                + self.seconds_by_phase.get(PHASE_TRANSMISSION, 0.0))
 
     def worker_proportions(self, num_workers: int) -> list[float]:
         """Fraction of hosted bytes per worker (Fig. 13)."""
@@ -81,14 +91,33 @@ class MetricsCollector:
                 merged.bytes_by_worker[worker] += nbytes
             for name, count in source.operator_counts.items():
                 merged.operator_counts[name] += count
+            if source.trace_summary is not None:
+                # Trace aggregates are all additive sums, so merging is a
+                # key-wise addition.
+                if merged.trace_summary is None:
+                    merged.trace_summary = dict(source.trace_summary)
+                else:
+                    for key, value in source.trace_summary.items():
+                        merged.trace_summary[key] = \
+                            merged.trace_summary.get(key, 0.0) + value
         return merged
 
     def summary(self) -> dict[str, float]:
-        """Flat dict used by the benchmark reports."""
+        """Flat dict used by the benchmark reports.
+
+        When an execution tracer was installed, its aggregates ride along
+        under ``trace_*`` keys (plus the derived ``trace_drift_ratio``);
+        untraced runs produce exactly the keys they always did.
+        """
         result = {f"seconds_{phase}": secs for phase, secs in self.seconds_by_phase.items()}
         result["seconds_total"] = self.total_seconds
         for primitive in PRIMITIVES:
             result[f"bytes_{primitive}"] = self.bytes_by_primitive.get(primitive, 0.0)
+        if self.trace_summary is not None:
+            result.update(self.trace_summary)
+            observed = self.trace_summary.get("trace_observed_seconds", 0.0)
+            drift = self.trace_summary.get("trace_abs_drift_seconds", 0.0)
+            result["trace_drift_ratio"] = drift / observed if observed else 0.0
         return result
 
     def __repr__(self) -> str:

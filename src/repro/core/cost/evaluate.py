@@ -32,6 +32,7 @@ from ...lang.ast import (
     Transpose,
 )
 from ...lang.program import Assign, Program, Statement, WhileLoop
+from ...runtime.plan import PredictedOp, StatementPath
 from ..sparsity.base import Sketch
 from .model import CostModel
 
@@ -56,34 +57,61 @@ class ProgramCostEvaluator:
 
     def __init__(self, model: CostModel):
         self.model = model
+        #: Recording sink: when set (final plan evaluation only), every
+        #: priced operator appends a PredictedOp under the current
+        #: statement path — the execution tracer's prediction source.
+        self._record: dict[StatementPath, list[PredictedOp]] | None = None
+        self._path: StatementPath | None = None
 
     def evaluate(self, program: Program, input_sketches: dict[str, Sketch],
-                 iterations: int | None = None) -> ProgramCost:
+                 iterations: int | None = None,
+                 record: dict[StatementPath, list[PredictedOp]] | None = None,
+                 ) -> ProgramCost:
+        """Price one program run; optionally record per-operator predictions.
+
+        ``record``, when given, is filled with statement-path -> ordered
+        predicted operator prices. Recording is pure observation: the
+        returned cost is bit-identical with or without it.
+        """
+        self._record = record
+        self._path = None
         env: dict[str, Sketch] = dict(input_sketches)
         env["__always__"] = self.model.scalar()
         cost = ProgramCost()
-        for stmt in program.statements:
-            if isinstance(stmt, Assign):
-                seconds, sketch = self._price_assign(stmt, env)
-                cost.prologue_seconds += seconds
-                cost.hoisted.append(stmt.target)
-                env[stmt.target] = sketch
-            elif isinstance(stmt, WhileLoop):
-                loop_iters = iterations if iterations is not None else stmt.max_iterations
-                cost.iterations = loop_iters
-                cost.per_iteration_seconds += self._price_loop(stmt, env)
-            else:  # pragma: no cover - defensive
-                raise OptimizerError(f"unknown statement type {type(stmt).__name__}")
+        try:
+            for index, stmt in enumerate(program.statements):
+                if isinstance(stmt, Assign):
+                    self._path = (index,)
+                    seconds, sketch = self._price_assign(stmt, env)
+                    self._path = None
+                    cost.prologue_seconds += seconds
+                    cost.hoisted.append(stmt.target)
+                    env[stmt.target] = sketch
+                elif isinstance(stmt, WhileLoop):
+                    loop_iters = iterations if iterations is not None else stmt.max_iterations
+                    cost.iterations = loop_iters
+                    cost.per_iteration_seconds += self._price_loop(stmt, env, (index,))
+                else:  # pragma: no cover - defensive
+                    raise OptimizerError(f"unknown statement type {type(stmt).__name__}")
+        finally:
+            self._record = None
+            self._path = None
         return cost
 
-    def _price_loop(self, loop: WhileLoop, env: dict[str, Sketch]) -> float:
-        # First pass settles loop-carried sketches; second pass is priced.
-        for stmt in loop.assignments():
+    def _price_loop(self, loop: WhileLoop, env: dict[str, Sketch],
+                    path: StatementPath) -> float:
+        # Same in-order DFS as WhileLoop.assignments(), with statement paths.
+        pairs = list(_assignments_with_paths(loop.body, path))
+        # First pass settles loop-carried sketches; second pass is priced
+        # (and recorded: the steady-state prices are the plan's prediction).
+        for _stmt_path, stmt in pairs:
             _seconds, sketch = self._price_assign(stmt, env)
             env[stmt.target] = sketch
         total = 0.0
-        for stmt in loop.assignments():
+        for stmt_path, stmt in pairs:
+            self._path = stmt_path
             seconds, sketch = self._price_assign(stmt, env)
+            self._path = None
             env[stmt.target] = sketch
             total += seconds
         return total
@@ -91,6 +119,18 @@ class ProgramCostEvaluator:
     def _price_assign(self, stmt: Assign, env: dict[str, Sketch]) -> tuple[float, Sketch]:
         seconds, sketch = self._price_expr(stmt.expr, env)
         return seconds, sketch
+
+    def _note(self, kind: str, priced) -> None:
+        """Record one priced operator under the current statement path."""
+        if self._record is None or self._path is None:
+            return
+        meta = self.model.meta(priced.sketch)
+        price = priced.price
+        self._record.setdefault(self._path, []).append(PredictedOp(
+            kind=kind, impl=price.impl, seconds=price.seconds,
+            compute_seconds=price.compute_seconds,
+            transmission_seconds=price.transmission_seconds,
+            out_rows=meta.rows, out_cols=meta.cols, out_nnz=meta.nnz))
 
     # ------------------------------------------------------------------
     # Expression pricing (mirrors Executor.evaluate)
@@ -111,6 +151,7 @@ class ProgramCostEvaluator:
             if self.model.meta(sketch).is_scalar_like:
                 return seconds, sketch
             priced = self.model.transpose(sketch)
+            self._note("transpose", priced)
             return seconds + priced.seconds, priced.sketch
         if isinstance(expr, (Add, Sub, ElemMul, ElemDiv)):
             kind = {Add: "add", Sub: "subtract", ElemMul: "multiply",
@@ -118,6 +159,7 @@ class ProgramCostEvaluator:
             sec_l, left = self._price_expr(expr.left, env)
             sec_r, right = self._price_expr(expr.right, env)
             priced = self.model.ewise(kind, left, right)
+            self._note(kind, priced)
             return sec_l + sec_r + priced.seconds, priced.sketch
         if isinstance(expr, Neg):
             seconds, sketch = self._price_expr(expr.child, env)
@@ -144,6 +186,7 @@ class ProgramCostEvaluator:
             return sec_l + sec_r, self.model.scalar()
         priced = self.model.matmul(left, right, left_fused_transpose=left_fused,
                                    right_fused_transpose=right_fused)
+        self._note("matmul", priced)
         return sec_l + sec_r + priced.seconds, priced.sketch
 
     def _try_price_mmchain(self, expr: MatMul,
@@ -162,23 +205,28 @@ class ProgramCostEvaluator:
         if self.model.meta(v).is_scalar_like or self.model.meta(x).is_scalar_like:
             return None
         priced = self.model.mmchain(x, v)
+        self._note("mmchain", priced)
         return sec_x + sec_v + priced.seconds, priced.sketch
 
     def _price_call(self, expr: Call, env: dict[str, Sketch]) -> tuple[float, Sketch]:
         seconds, sketch = self._price_expr(expr.args[0], env)
         if expr.func in ("sum", "trace"):
             priced = self.model.aggregate(sketch)
+            self._note("aggregate", priced)
             return seconds + priced.seconds, priced.sketch
         if expr.func == "norm":
             priced = self.model.aggregate(sketch, flop_multiplier=2.0)
+            self._note("aggregate", priced)
             return seconds + priced.seconds, priced.sketch
         if expr.func in ("rowsums", "colsums", "diag"):
             priced = self.model.structural(expr.func, sketch)
+            self._note("structural", priced)
             return seconds + priced.seconds, priced.sketch
         from ...lang.ast import CELLWISE_BUILTINS
         if expr.func in CELLWISE_BUILTINS and \
                 not self.model.meta(sketch).is_scalar_like:
             priced = self.model.map_cells(expr.func, sketch)
+            self._note("map", priced)
             return seconds + priced.seconds, priced.sketch
         # nrow/ncol and scalar math: metadata-only, free.
         return seconds, self.model.scalar()
@@ -188,6 +236,16 @@ def _unwrap_transpose(expr: Expr) -> tuple[Expr, bool]:
     if isinstance(expr, Transpose):
         return expr.child, True
     return expr, False
+
+
+def _assignments_with_paths(body, path: StatementPath):
+    """Yield (statement path, Assign) in WhileLoop.assignments() order."""
+    for index, stmt in enumerate(body):
+        stmt_path = path + (index,)
+        if isinstance(stmt, Assign):
+            yield stmt_path, stmt
+        else:
+            yield from _assignments_with_paths(stmt.body, stmt_path)
 
 
 def sketch_inputs(model: CostModel, input_meta: dict, input_data: dict | None = None) -> dict[str, Sketch]:

@@ -148,11 +148,19 @@ class ReMacOptimizer:
                 break
             chains = build_chains(rewritten, inputs, iterations)
 
+        # The final evaluation also records per-operator predicted prices
+        # (keyed by statement path) so the execution tracer can report
+        # predicted-vs-observed drift. Recording is pure observation: the
+        # evaluated cost is identical with or without it.
+        predicted_ops: dict = {}
         cost = ProgramCostEvaluator(model).evaluate(rewritten, sketches,
-                                                    iterations=chains.iterations)
+                                                    iterations=chains.iterations,
+                                                    record=predicted_ops)
         compile_seconds = time.perf_counter() - started
         return CompiledProgram(
             program=rewritten,
+            predicted_ops={path: tuple(ops)
+                           for path, ops in predicted_ops.items()},
             applied_options=applied,
             rejected_options=rejected,
             estimated_cost=cost.total_seconds,

@@ -58,19 +58,36 @@ class DataTokens:
     one resident dataset, many compiles), while a new object — even with
     equal contents — yields a fresh token, which can only cause a spurious
     miss, never a wrong hit. Liveness is tracked with weak references so a
-    recycled ``id()`` is never mistaken for the old object.
+    recycled ``id()`` is never mistaken for the old object, and a weakref
+    callback purges the entry when the referent is collected, so the
+    registry stays bounded by the number of *live* inputs rather than
+    growing forever across short-lived ones.
     """
 
     def __init__(self) -> None:
         self._by_id: dict[int, tuple] = {}
         self._serial = 0
 
+    def __len__(self) -> int:
+        """Number of registered (live or not-yet-purged) entries."""
+        return len(self._by_id)
+
+    def __bool__(self) -> bool:
+        """Always truthy: a registry's identity matters even when empty.
+
+        Without this, ``tokens or DataTokens()`` would silently replace a
+        shared-but-empty registry with a throwaway one, producing equal
+        serial tokens for *different* objects — a wrong-cache-hit hazard.
+        """
+        return True
+
     def token(self, value) -> str:
         if value is None:
             return "none"
         if isinstance(value, (bool, int, float)):
             return f"scalar:{value!r}"
-        entry = self._by_id.get(id(value))
+        key = id(value)
+        entry = self._by_id.get(key)
         if entry is not None:
             ref, token = entry
             if ref() is value:
@@ -78,10 +95,23 @@ class DataTokens:
         self._serial += 1
         token = f"obj:{self._serial}"
         try:
-            self._by_id[id(value)] = (weakref.ref(value), token)
+            ref = weakref.ref(value, self._purger(key))
         except TypeError:  # not weak-referenceable: never cache-hit on it
             return f"anon:{self._serial}"
+        self._by_id[key] = (ref, token)
         return token
+
+    def _purger(self, key: int):
+        """Callback dropping ``key`` when its referent is collected.
+
+        Guarded on ref identity: by the time the callback fires, a new
+        object with the recycled id may already own the slot.
+        """
+        def purge(ref) -> None:
+            entry = self._by_id.get(key)
+            if entry is not None and entry[0] is ref:
+                del self._by_id[key]
+        return purge
 
 
 def _config_text(config: OptimizerConfig) -> str:
@@ -98,7 +128,8 @@ def plan_fingerprint(program: Program, inputs: dict,
                      tokens: DataTokens | None = None) -> str:
     """Deterministic cache key for one ``compile()`` call."""
     data = input_data or {}
-    tokens = tokens or DataTokens()
+    if tokens is None:  # ``or`` would discard a shared-but-empty registry
+        tokens = DataTokens()
     meta_lines = []
     for name in sorted(inputs):
         meta = inputs[name]

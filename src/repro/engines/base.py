@@ -79,8 +79,14 @@ class Engine:
     def run(self, program: Program, inputs: Environment, input_data: dict,
             symmetric: set[str] | frozenset[str] = frozenset(),
             iterations: int | None = None,
-            charge_partition: bool = False) -> RunResult:
-        """Compile (per the engine's policy) and execute a program."""
+            charge_partition: bool = False,
+            tracer=None) -> RunResult:
+        """Compile (per the engine's policy) and execute a program.
+
+        ``tracer`` optionally installs an
+        :class:`~repro.runtime.trace.ExecutionTracer` for the execution,
+        recording per-operator spans with predicted-vs-observed costs.
+        """
         compiled = None
         to_execute: Program | CompiledProgram = program
         compile_wall = 0.0
@@ -89,7 +95,7 @@ class Engine:
             compiled = self.compile(program, inputs, input_data, iterations)
             compile_wall = time.perf_counter() - started
             to_execute = compiled
-        executor = Executor(self.cluster, self.policy)
+        executor = Executor(self.cluster, self.policy, tracer=tracer)
         # Compilation happens on the driver in real time; fold the real wall
         # seconds plus any simulated statistics collection into the
         # simulated compilation phase so Fig. 12-style breakdowns add up.

@@ -14,7 +14,8 @@ from .hybrid import (
     value_distributed,
 )
 from .physical import Kernels, Value, placement_imbalance
-from .plan import CompiledProgram
+from .plan import CompiledProgram, PredictedOp
+from .trace import ExecutionTracer
 
 __all__ = [
     "Executor",
@@ -22,5 +23,6 @@ __all__ = [
     "decide_matmul", "decide_ewise", "decide_transpose", "value_distributed",
     "LOCAL", "BMM", "BMM_FLIPPED", "CPMM",
     "Kernels", "Value", "placement_imbalance",
-    "CompiledProgram",
+    "CompiledProgram", "PredictedOp",
+    "ExecutionTracer",
 ]

@@ -59,10 +59,13 @@ class Executor:
     """Executes programs against a simulated cluster configuration."""
 
     def __init__(self, config: ClusterConfig, policy: ExecutionPolicy | None = None,
-                 metrics: MetricsCollector | None = None):
+                 metrics: MetricsCollector | None = None, tracer=None):
         self.config = config
-        self.kernels = Kernels(config, policy, metrics)
+        self.kernels = Kernels(config, policy, metrics, tracer=tracer)
         self.metrics = self.kernels.metrics
+        #: Optional :class:`~repro.runtime.trace.ExecutionTracer`; when None
+        #: (the default) no spans are allocated and execution is unchanged.
+        self.tracer = tracer
         #: Iterations executed per loop on the last run, for reporting.
         self.loop_iterations: list[int] = []
 
@@ -79,8 +82,14 @@ class Executor:
         (scalars). ``symmetric`` names inputs known to be symmetric.
         Returns the final environment of all variables.
         """
+        tracer = self.tracer
         if isinstance(program, CompiledProgram):
+            if tracer is not None:
+                tracer.begin_run(program.predicted_ops or {},
+                                 self.config.num_workers)
             program = program.program
+        elif tracer is not None:
+            tracer.begin_run({}, self.config.num_workers)
         env: dict[str, Value] = {}
         for name, data in inputs.items():
             if isinstance(data, (int, float)):
@@ -90,30 +99,54 @@ class Executor:
                                               charge_partition=charge_partition)
         env["__always__"] = self.kernels.from_scalar(1.0)
         self.loop_iterations = []
-        self._run_block(program.statements, env)
+        self._run_block(program.statements, env, ())
+        if tracer is not None:
+            self.metrics.trace_summary = tracer.metrics_summary()
         return env
 
     def _run_block(self, statements: list[Statement] | tuple[Statement, ...],
-                   env: dict[str, Value]) -> None:
-        for stmt in statements:
+                   env: dict[str, Value], path: tuple = ()) -> None:
+        tracer = self.tracer
+        for index, stmt in enumerate(statements):
+            stmt_path = path + (index,)
             if isinstance(stmt, Assign):
+                if tracer is not None:
+                    tracer.begin_statement(stmt_path, stmt.target)
                 env[stmt.target] = self.evaluate(stmt.expr, env)
+                if tracer is not None:
+                    tracer.end_statement()
             elif isinstance(stmt, WhileLoop):
-                self._run_loop(stmt, env)
+                self._run_loop(stmt, env, stmt_path)
             else:  # pragma: no cover - defensive
                 raise ExecutionError(f"unknown statement type {type(stmt).__name__}")
 
-    def _run_loop(self, loop: WhileLoop, env: dict[str, Value]) -> None:
+    def _run_loop(self, loop: WhileLoop, env: dict[str, Value],
+                  path: tuple = ()) -> None:
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin_loop(path)
         iterations = 0
         while iterations < loop.max_iterations:
+            if tracer is not None:
+                # Conditions are not priced by the cost model, so their
+                # operator spans never carry predictions.
+                tracer.begin_statement(path + ("cond",), None, kind="condition")
             condition = self.evaluate(loop.condition, env)
+            if tracer is not None:
+                tracer.end_statement()
             if not condition.is_scalar:
                 raise ExecutionError("loop condition did not evaluate to a scalar")
             if condition.scalar_value() == 0.0:
                 break
-            self._run_block(loop.body, env)
+            if tracer is not None:
+                tracer.begin_iteration(iterations)
+            self._run_block(loop.body, env, path)
+            if tracer is not None:
+                tracer.end_iteration()
             iterations += 1
         self.loop_iterations.append(iterations)
+        if tracer is not None:
+            tracer.end_loop(iterations)
 
     # ------------------------------------------------------------------
     # Expression evaluation

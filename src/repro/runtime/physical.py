@@ -82,11 +82,15 @@ class Kernels:
     """Stateful kernel set bound to one cluster config, policy, and metrics."""
 
     def __init__(self, config: ClusterConfig, policy: ExecutionPolicy | None = None,
-                 metrics: MetricsCollector | None = None):
+                 metrics: MetricsCollector | None = None, tracer=None):
         self.config = config
         self.policy = policy or ExecutionPolicy.systemds()
         self.metrics = metrics or MetricsCollector()
         self.network = Network(config, self.metrics)
+        #: Optional :class:`~repro.runtime.trace.ExecutionTracer`. Every
+        #: hook below is guarded by an ``is None`` check so tracing is
+        #: zero-cost when off (no spans allocated, no placement scans).
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # Charging helpers
@@ -168,7 +172,10 @@ class Kernels:
                              right_fused_transpose=right_transposed,
                              imbalance=max(left.imbalance, right.imbalance))
         self._charge(price)
-        return self._wrap(result, price.output_distributed)
+        out = self._wrap(result, price.output_distributed)
+        if self.tracer is not None:
+            self.tracer.record_operator("matmul", price, (left_meta, right_meta), out)
+        return out
 
     def mmchain(self, x: Value, v: Value) -> Value:
         """Fused ``t(X) %*% (X %*% v)`` (SystemDS's mmchain pattern).
@@ -183,7 +190,10 @@ class Kernels:
         price = price_mmchain(x.meta, v.meta, result.meta(), self.config,
                               self.policy, imbalance=x.imbalance)
         self._charge(price)
-        return self._wrap(result, price.output_distributed)
+        out = self._wrap(result, price.output_distributed)
+        if self.tracer is not None:
+            self.tracer.record_operator("mmchain", price, (x.meta, v.meta), out)
+        return out
 
     def _coerce_mixed(self, left_mat: BlockedMatrix,
                       right_mat: BlockedMatrix) -> tuple[BlockedMatrix, BlockedMatrix]:
@@ -216,7 +226,10 @@ class Kernels:
         price = price_ewise(kind, left.meta, right.meta, out_meta, self.config,
                             self.policy, imbalance=max(left.imbalance, right.imbalance))
         self._charge(price)
-        return self._wrap(result, price.output_distributed)
+        out = self._wrap(result, price.output_distributed)
+        if self.tracer is not None:
+            self.tracer.record_operator(kind, price, (left.meta, right.meta), out)
+        return out
 
     def _scalar_ewise(self, scalar: float, value: Value, kind: str,
                       left_side: bool) -> Value:
@@ -240,7 +253,12 @@ class Kernels:
         price = price_ewise(kind, value.meta, MatrixMeta(1, 1), result.meta(),
                             self.config, self.policy, imbalance=value.imbalance)
         self._charge(price)
-        return self._wrap(result, price.output_distributed)
+        out = self._wrap(result, price.output_distributed)
+        if self.tracer is not None:
+            operands = (MatrixMeta(1, 1), value.meta) if left_side \
+                else (value.meta, MatrixMeta(1, 1))
+            self.tracer.record_operator(kind, price, operands, out)
+        return out
 
     def add(self, left: Value, right: Value) -> Value:
         return self._ewise(left, right, "add")
@@ -261,7 +279,13 @@ class Kernels:
         price = price_ewise("multiply", value.meta, MatrixMeta(1, 1), result.meta(),
                             self.config, self.policy, imbalance=value.imbalance)
         self._charge(price)
-        return self._wrap(result, price.output_distributed)
+        out = self._wrap(result, price.output_distributed)
+        if self.tracer is not None:
+            # The cost model treats negation as free, so this span never
+            # carries a prediction — "negate" deliberately matches no
+            # recorded kind.
+            self.tracer.record_operator("negate", price, (value.meta,), out)
+        return out
 
     # ------------------------------------------------------------------
     # Transpose and aggregates
@@ -271,12 +295,18 @@ class Kernels:
         result = value.matrix.transpose()
         price = price_transpose(value.meta, self.config, self.policy, value.imbalance)
         self._charge(price)
-        return self._wrap(result, price.output_distributed)
+        out = self._wrap(result, price.output_distributed)
+        if self.tracer is not None:
+            self.tracer.record_operator("transpose", price, (value.meta,), out)
+        return out
 
     def aggregate_sum(self, value: Value) -> Value:
         price = price_aggregate(value.meta, self.config, self.policy, value.imbalance)
         self._charge(price)
-        return self.from_scalar(value.matrix.sum())
+        out = self.from_scalar(value.matrix.sum())
+        if self.tracer is not None:
+            self.tracer.record_operator("aggregate", price, (value.meta,), out)
+        return out
 
     def aggregate_norm(self, value: Value) -> Value:
         price = price_aggregate(value.meta, self.config, self.policy, value.imbalance,
@@ -285,14 +315,20 @@ class Kernels:
         squared = sum(float((b.data.multiply(b.data)).sum()) if b.is_sparse
                       else float(np.square(b.data).sum())
                       for _, b in value.matrix.iter_blocks())
-        return self.from_scalar(float(np.sqrt(squared)))
+        out = self.from_scalar(float(np.sqrt(squared)))
+        if self.tracer is not None:
+            self.tracer.record_operator("aggregate", price, (value.meta,), out)
+        return out
 
     def aggregate_trace(self, value: Value) -> Value:
         if value.meta.rows != value.meta.cols:
             raise ExecutionError("trace of a non-square matrix")
         price = price_aggregate(value.meta, self.config, self.policy, value.imbalance)
         self._charge(price)
-        return self.from_scalar(float(np.trace(value.matrix.to_numpy())))
+        out = self.from_scalar(float(np.trace(value.matrix.to_numpy())))
+        if self.tracer is not None:
+            self.tracer.record_operator("aggregate", price, (value.meta,), out)
+        return out
 
     # ------------------------------------------------------------------
     # Cell-wise maps and structural reductions
@@ -315,7 +351,10 @@ class Kernels:
         price = price_map(value.meta, result.meta(), self.config, self.policy,
                           value.imbalance)
         self._charge(price)
-        return self._wrap(result, price.output_distributed)
+        out = self._wrap(result, price.output_distributed)
+        if self.tracer is not None:
+            self.tracer.record_operator("map", price, (value.meta,), out)
+        return out
 
     def structural(self, value: Value, kind: str) -> Value:
         """rowsums / colsums / diag."""
@@ -330,7 +369,10 @@ class Kernels:
         price = price_structural(kind, value.meta, result.meta(), self.config,
                                  self.policy, value.imbalance)
         self._charge(price)
-        return self._wrap(result, price.output_distributed)
+        out = self._wrap(result, price.output_distributed)
+        if self.tracer is not None:
+            self.tracer.record_operator("structural", price, (value.meta,), out)
+        return out
 
     # ------------------------------------------------------------------
     # Persistence (hoisted loop-constant results)
@@ -343,4 +385,6 @@ class Kernels:
         """
         price = price_persist(value.meta, self.config, self.policy)
         self._charge(price)
+        if self.tracer is not None:
+            self.tracer.record_operator("persist", price, (value.meta,), value)
         return value

@@ -15,6 +15,37 @@ from typing import Any
 
 from ..lang.program import Program
 
+#: Statement path: indices into (possibly nested) statement lists. A
+#: top-level statement ``i`` is ``(i,)``; statement ``j`` inside the body of
+#: the loop at path ``p`` is ``p + (j,)``. The cost evaluator records
+#: predicted operator prices under these paths and the executor replays the
+#: same walk, so the two sides can be matched operator by operator.
+StatementPath = tuple
+
+
+@dataclass(frozen=True)
+class PredictedOp:
+    """One operator's price as the optimizer's cost model predicted it.
+
+    Recorded while costing the final plan (same walk the executor performs)
+    so the execution tracer can attribute, per operator, the gap between
+    what the cost model believed (estimated nnz, Eqs. 3-6) and what the
+    runtime observed.
+    """
+
+    #: Logical operator kind: matmul, mmchain, add, subtract, multiply,
+    #: divide, transpose, aggregate, map, structural.
+    kind: str
+    #: Predicted physical impl (local / bmm / bmm_flipped / cpmm / ...).
+    impl: str
+    seconds: float
+    compute_seconds: float
+    transmission_seconds: float
+    out_rows: int
+    out_cols: int
+    #: Estimated nnz of the operator's output (the estimator's claim).
+    out_nnz: float
+
 
 @dataclass
 class CompiledProgram:
@@ -32,6 +63,10 @@ class CompiledProgram:
     compile_seconds: float = 0.0
     #: Free-form diagnostics (search statistics, estimator name, ...).
     notes: dict[str, Any] = field(default_factory=dict)
+    #: Per-operator predicted prices keyed by statement path, in the order
+    #: the operators execute within each statement (see :data:`StatementPath`).
+    #: None when the plan predates prediction recording.
+    predicted_ops: dict[StatementPath, tuple[PredictedOp, ...]] | None = None
 
     @property
     def num_applied(self) -> int:

@@ -150,3 +150,59 @@ class TestTopology:
 
     def test_empty_cluster_balance(self, cluster):
         assert sum(Cluster(cluster).balance()) == 0.0
+
+
+class TestMetricsReadPurity:
+    def test_execution_seconds_read_does_not_insert_phases(self):
+        """``seconds_by_phase`` is a defaultdict; the old ``[]`` read in
+        ``execution_seconds`` inserted zero-valued phases, polluting
+        ``summary()`` and ``merged_with`` with keys no charge created."""
+        metrics = MetricsCollector()
+        assert metrics.execution_seconds == 0.0
+        assert dict(metrics.seconds_by_phase) == {}
+        assert "seconds_computation" not in metrics.summary()
+        assert "seconds_transmission" not in metrics.summary()
+
+    def test_summary_unchanged_by_reads(self):
+        metrics = MetricsCollector()
+        metrics.charge_compute(1.0)
+        before = metrics.summary()
+        _ = metrics.execution_seconds
+        _ = metrics.total_seconds
+        _ = metrics.worker_proportions(4)
+        assert metrics.summary() == before
+
+    def test_merged_with_empty_collectors(self):
+        merged = MetricsCollector().merged_with(MetricsCollector())
+        assert merged.total_seconds == 0.0
+        assert merged.trace_summary is None
+        assert dict(merged.seconds_by_phase) == {}
+
+    def test_merged_with_disjoint_workers(self):
+        a, b = MetricsCollector(), MetricsCollector()
+        a.record_worker_bytes(0, 100.0)
+        b.record_worker_bytes(3, 300.0)
+        merged = a.merged_with(b)
+        assert merged.worker_proportions(4) \
+            == pytest.approx([0.25, 0.0, 0.0, 0.75])
+
+    def test_worker_proportions_zero_traffic_guard(self):
+        metrics = MetricsCollector()
+        metrics.record_worker_bytes(1, 0.0)
+        assert metrics.worker_proportions(2) == [0.0, 0.0]
+
+    def test_merged_with_one_sided_trace_summary(self):
+        a, b = MetricsCollector(), MetricsCollector()
+        a.trace_summary = {"trace_operator_spans": 4.0,
+                           "trace_observed_seconds": 1.5}
+        merged = a.merged_with(b)
+        assert merged.trace_summary == a.trace_summary
+        assert merged.trace_summary is not a.trace_summary  # a copy
+        both = a.merged_with(a)
+        assert both.trace_summary["trace_operator_spans"] == 8.0
+
+    def test_untraced_summary_has_no_trace_keys(self):
+        metrics = MetricsCollector()
+        metrics.charge_compute(1.0)
+        assert not any(key.startswith("trace_")
+                       for key in metrics.summary())

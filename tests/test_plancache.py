@@ -201,3 +201,42 @@ class TestLRU:
         optimizer.compile(program, inputs, data, iterations=12)  # evicts
         optimizer.compile(program, inputs, data, iterations=6)   # miss again
         assert optimizer.plan_cache_stats["evictions"] >= 1
+
+
+class TestDataTokensLifecycle:
+    def test_empty_registry_is_truthy(self):
+        """``tokens or DataTokens()`` must never discard a shared registry:
+        an empty one replaced by a throwaway would hand out equal serials
+        for different objects — a wrong-cache-hit hazard."""
+        tokens = DataTokens()
+        assert len(tokens) == 0
+        assert bool(tokens)
+
+    def test_registry_does_not_grow_across_short_lived_inputs(self, rng):
+        """Dead entries are purged by weakref callback, so the registry is
+        bounded by *live* inputs, not by how many compiles ever happened."""
+        import gc
+
+        tokens = DataTokens()
+        resident = rng.random((8, 8))
+        tokens.token(resident)
+        for _ in range(200):
+            tokens.token(rng.random((4, 4)))  # dies immediately
+        gc.collect()
+        assert len(tokens) <= 2  # resident + at most one in-flight temp
+        # The resident object still maps to its original token.
+        assert tokens.token(resident) == "obj:1"
+
+    def test_fresh_object_after_collection_gets_fresh_token(self, rng):
+        """A recycled id() must not resurrect the dead object's token."""
+        import gc
+
+        tokens = DataTokens()
+        seen = set()
+        for _ in range(50):
+            value = rng.random((4, 4))
+            token = tokens.token(value)
+            assert token not in seen
+            seen.add(token)
+            del value
+            gc.collect()

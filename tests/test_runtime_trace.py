@@ -1,0 +1,249 @@
+"""Execution tracing: spans, prediction matching, drift, zero-cost-off."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import ReMacOptimizer
+from repro.engines import make_engine
+from repro.lang import parse
+from repro.matrix.meta import MatrixMeta
+from repro.runtime import ExecutionTracer, Executor
+
+GD_SOURCE = """
+input A, b, x, alpha
+i = 0
+while (i < 6) {
+  g = t(A) %*% (A %*% x - b)
+  x = x - alpha * g
+  i = i + 1
+}
+"""
+
+
+@pytest.fixture
+def gd_workload(rng):
+    program = parse(GD_SOURCE, scalar_names={"i", "alpha"})
+    m, n = 600, 30
+    A = rng.random((m, n))
+    inputs = {"A": MatrixMeta(m, n, 1.0), "b": MatrixMeta(m, 1),
+              "x": MatrixMeta(n, 1), "alpha": MatrixMeta(1, 1),
+              "i": MatrixMeta(1, 1)}
+    data = {"A": A, "b": A @ rng.random((n, 1)), "x": np.zeros((n, 1)),
+            "alpha": 1e-6, "i": 0.0}
+    return program, inputs, data
+
+
+@pytest.fixture
+def compiled_gd(cluster, gd_workload):
+    program, inputs, data = gd_workload
+    optimizer = ReMacOptimizer(cluster)
+    compiled = optimizer.compile(program, inputs, data, iterations=6)
+    return compiled, inputs, data
+
+
+def execute(cluster, compiled, data, tracer=None):
+    executor = Executor(cluster, tracer=tracer)
+    executor.run(compiled, data)
+    return executor
+
+
+class TestZeroCostWhenOff:
+    def test_summary_bit_identical_without_tracer(self, cluster, compiled_gd):
+        """An untraced run must be indistinguishable from the pre-tracing
+        collector: same keys, same bit-exact values, no ``trace_*`` keys."""
+        compiled, _, data = compiled_gd
+        plain = execute(cluster, compiled, data)
+        traced = execute(cluster, compiled, data, tracer=ExecutionTracer())
+        plain_summary = plain.metrics.summary()
+        traced_summary = traced.metrics.summary()
+        assert not any(key.startswith("trace_") for key in plain_summary)
+        assert plain.metrics.trace_summary is None
+        for key, value in plain_summary.items():
+            assert traced_summary[key] == value  # simulated clock bit-exact
+        assert any(key.startswith("trace_") for key in traced_summary)
+
+    def test_predictions_attached_regardless_of_tracing(self, compiled_gd):
+        compiled, _, _ = compiled_gd
+        assert compiled.predicted_ops  # recorded during normal compilation
+        for path, ops in compiled.predicted_ops.items():
+            assert isinstance(path, tuple)
+            assert all(op.seconds >= 0.0 for op in ops)
+
+    def test_results_identical_with_and_without_tracer(self, cluster,
+                                                       compiled_gd):
+        compiled, _, data = compiled_gd
+        plain = Executor(cluster)
+        env_plain = plain.run(compiled, data)
+        traced = Executor(cluster, tracer=ExecutionTracer())
+        env_traced = traced.run(compiled, data)
+        np.testing.assert_array_equal(env_plain["x"].matrix.to_numpy(),
+                                      env_traced["x"].matrix.to_numpy())
+
+
+class TestOperatorSpans:
+    def test_spans_carry_predicted_and_observed(self, cluster, compiled_gd):
+        compiled, _, data = compiled_gd
+        tracer = ExecutionTracer()
+        execute(cluster, compiled, data, tracer=tracer)
+        operators = list(tracer.operator_spans())
+        assert operators
+        matched = [span for span in operators if span["predicted"] is not None]
+        assert matched  # at least one operator priced by the cost model
+        for span in operators:
+            observed = span["observed"]
+            assert observed["seconds"] == pytest.approx(
+                observed["compute_seconds"] + observed["transmission_seconds"])
+            assert all(nbytes >= 0.0 for nbytes in observed["bytes"].values())
+            assert span["out"]["rows"] >= 1 and span["out"]["cols"] >= 1
+            assert span["impl"] in ("local", "bmm", "bmm_flipped", "cpmm")
+        for span in matched:
+            predicted = span["predicted"]
+            assert predicted["seconds"] == pytest.approx(
+                predicted["compute_seconds"]
+                + predicted["transmission_seconds"])
+            assert predicted["out_nnz"] >= 0
+
+    def test_condition_operators_carry_no_prediction(self, cluster,
+                                                     compiled_gd):
+        """Loop conditions are never priced at compile time."""
+        compiled, _, data = compiled_gd
+        tracer = ExecutionTracer()
+        execute(cluster, compiled, data, tracer=tracer)
+        condition_ops = [span for span in tracer.operator_spans()
+                         if span["statement"].endswith("cond")]
+        for span in condition_ops:
+            assert span["predicted"] is None
+        condition_spans = [span for span in tracer.spans
+                           if span["span"] == "condition"]
+        assert condition_spans
+
+    def test_trace_summary_in_metrics(self, cluster, compiled_gd):
+        compiled, _, data = compiled_gd
+        tracer = ExecutionTracer()
+        executor = execute(cluster, compiled, data, tracer=tracer)
+        summary = executor.metrics.summary()
+        assert summary["trace_operator_spans"] >= 1
+        assert summary["trace_matched_spans"] >= 1
+        assert summary["trace_observed_seconds"] > 0.0
+        assert summary["trace_drift_ratio"] >= 0.0
+        # Traced operators are a subset of what the phases charged.
+        assert summary["trace_observed_seconds"] \
+            <= executor.metrics.execution_seconds + 1e-9
+
+
+class TestLoopNesting:
+    def test_spans_nest_inside_while_loops(self, cluster, compiled_gd):
+        compiled, _, data = compiled_gd
+        tracer = ExecutionTracer()
+        executor = execute(cluster, compiled, data, tracer=tracer)
+        loops = [span for span in tracer.spans if span["span"] == "loop"]
+        assert len(loops) == len(executor.loop_iterations)
+        assert loops[0]["iterations"] == executor.loop_iterations[0]
+        loop_path = loops[0]["loop"]
+        iteration_spans = [span for span in tracer.spans
+                           if span["span"] == "iteration"
+                           and span["loop"] == loop_path]
+        assert len(iteration_spans) == loops[0]["iterations"]
+        assert [span["iteration"] for span in iteration_spans] \
+            == list(range(loops[0]["iterations"]))
+        # Statements executed inside the loop carry the loop's path both as
+        # a statement-path prefix and in their loop-context field.
+        body_statements = [span for span in tracer.spans
+                           if span["span"] == "statement"
+                           and span["statement"].startswith(loop_path + ".")]
+        assert body_statements
+        for span in body_statements:
+            assert span["loop"] == loop_path
+            assert span["iteration"] is not None
+
+    def test_hoisted_statements_precede_loop(self, cluster, compiled_gd):
+        """LSE-hoisted temporaries execute as top-level statements before
+        the loop span's operators — visible by sequence numbers."""
+        compiled, _, data = compiled_gd
+        tracer = ExecutionTracer()
+        execute(cluster, compiled, data, tracer=tracer)
+        prologue = [span for span in tracer.spans
+                    if span["span"] == "statement" and span["loop"] is None]
+        in_loop = [span for span in tracer.spans
+                   if span["span"] == "operator"
+                   and span["loop"] is not None]
+        assert prologue and in_loop
+        first_loop_seq = min(span["seq"] for span in in_loop)
+        hoisted = [span for span in prologue
+                   if span["seq"] < first_loop_seq and span["operators"] > 0]
+        assert hoisted  # LSE hoisted at least one priced temporary
+
+    def test_loop_seconds_cover_iterations(self, cluster, compiled_gd):
+        compiled, _, data = compiled_gd
+        tracer = ExecutionTracer()
+        execute(cluster, compiled, data, tracer=tracer)
+        loop = next(span for span in tracer.spans if span["span"] == "loop")
+        iteration_total = sum(span["seconds"] for span in tracer.spans
+                              if span["span"] == "iteration"
+                              and span["loop"] == loop["loop"])
+        # Loop seconds also include condition evaluations, so >= iterations.
+        assert loop["seconds"] >= iteration_total - 1e-12
+
+
+class TestDriftReport:
+    def test_ranked_by_drift_and_aggregated(self, cluster, compiled_gd):
+        compiled, _, data = compiled_gd
+        tracer = ExecutionTracer()
+        execute(cluster, compiled, data, tracer=tracer)
+        report = tracer.drift_report()
+        assert report
+        ratios = [row["drift_ratio"] for row in report]
+        assert ratios == sorted(ratios, reverse=True)
+        for row in report:
+            assert row["executions"] >= 1
+            assert np.isfinite(row["drift_ratio"])
+            if row["matched"]:
+                expected = (abs(row["predicted_seconds"]
+                                - row["observed_seconds"])
+                            / max(row["observed_seconds"], 1e-12))
+                assert row["drift_ratio"] == pytest.approx(expected)
+        # Operators inside the loop aggregate one row per static site.
+        looped = [row for row in report if row["executions"] > 1]
+        assert looped
+
+    def test_json_lines_round_trip(self, cluster, compiled_gd, tmp_path):
+        compiled, _, data = compiled_gd
+        tracer = ExecutionTracer()
+        execute(cluster, compiled, data, tracer=tracer)
+        path = tmp_path / "trace.jsonl"
+        count = tracer.write_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert count == len(lines) == len(tracer.spans)
+        parsed = [json.loads(line) for line in lines]
+        assert sum(1 for span in parsed if span["span"] == "operator") >= 1
+        assert [span["seq"] for span in parsed] == sorted(
+            span["seq"] for span in parsed)
+
+
+class TestEngineIntegration:
+    def test_engine_run_threads_tracer(self, cluster, gd_workload):
+        program, inputs, data = gd_workload
+        engine = make_engine("remac", cluster)
+        tracer = ExecutionTracer()
+        result = engine.run(program, inputs, data, iterations=6,
+                            tracer=tracer)
+        assert list(tracer.operator_spans())
+        assert result.metrics.trace_summary is not None
+        assert result.metrics.summary()["trace_operator_spans"] >= 1
+
+    def test_merged_collectors_add_trace_summaries(self, cluster,
+                                                   gd_workload):
+        program, inputs, data = gd_workload
+        engine = make_engine("remac", cluster)
+        first = engine.run(program, inputs, data, iterations=6,
+                           tracer=ExecutionTracer())
+        second = engine.run(program, inputs, data, iterations=6,
+                            tracer=ExecutionTracer())
+        merged = first.metrics.merged_with(second.metrics)
+        assert merged.trace_summary["trace_operator_spans"] == (
+            first.metrics.trace_summary["trace_operator_spans"]
+            + second.metrics.trace_summary["trace_operator_spans"])
