@@ -1,0 +1,214 @@
+"""Execution fast path: serial vs parallel block-kernel wall-clock.
+
+Times the block-level kernels (matmul, element-wise, transpose, ingest)
+serially and with a ``kernel_workers=4`` thread pool, on a dense and a
+sparse multi-block workload, plus one end-to-end engine run. Parallelism
+is perf-only — before timing anything, every workload is checked for
+bit-identity between the serial and parallel paths (results and, for the
+engine run, the simulated-time metrics summary).
+
+Writes ``BENCH_execution_throughput.json`` at the repo root with raw
+milliseconds, derived speedups, and the host core count. The >=2x matmul
+speedup acceptance assertion only fires on hosts with >=4 cores: on
+fewer cores threads cannot beat serial, and the bit-identity checks are
+the meaningful part.
+
+Run standalone (no pytest-benchmark needed)::
+
+    PYTHONPATH=src python benchmarks/bench_execution_throughput.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+from scipy import sparse as sp
+
+from repro.config import ClusterConfig
+from repro.matrix import BlockedMatrix
+
+PARALLEL = 4
+REPEATS = 3
+SPEEDUP_FLOOR = 2.0  # acceptance, asserted only when the host has >=4 cores
+
+#: (label, rows, inner, cols, block size, density or None for dense)
+SHAPES = {
+    False: [("dense matmul", 1536, 1536, 1536, 256, None),
+            ("sparse matmul", 6000, 6000, 2000, 512, 0.02)],
+    True: [("dense matmul", 512, 512, 512, 128, None),
+           ("sparse matmul", 1500, 1500, 600, 256, 0.02)],
+}
+
+
+def _matrices(rows: int, inner: int, cols: int, block_size: int,
+              density: float | None):
+    rng = np.random.default_rng(7)
+    if density is None:
+        left = BlockedMatrix.from_numpy(rng.random((rows, inner)), block_size)
+        right = BlockedMatrix.from_numpy(rng.random((inner, cols)), block_size)
+    else:
+        left = BlockedMatrix.from_scipy(
+            sp.random(rows, inner, density=density, format="csr",
+                      random_state=rng), block_size)
+        right = BlockedMatrix.from_scipy(
+            sp.random(inner, cols, density=density, format="csr",
+                      random_state=rng), block_size)
+    return left, right
+
+
+def _best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _kernel_rows(smoke: bool) -> list[dict]:
+    rows = []
+    for label, m, k, n, bs, density in SHAPES[smoke]:
+        left, right = _matrices(m, k, n, bs, density)
+        serial = left.matmul(right, workers=1)
+        parallel = left.matmul(right, workers=PARALLEL)
+        assert np.array_equal(serial.to_numpy(), parallel.to_numpy()), \
+            f"{label}: parallel result differs from serial"
+        assert list(serial.blocks) == list(parallel.blocks), \
+            f"{label}: parallel grid order differs from serial"
+        serial_s = _best_of(lambda: left.matmul(right, workers=1))
+        parallel_s = _best_of(lambda: left.matmul(right, workers=PARALLEL))
+        rows.append({
+            "workload": label,
+            "grid": "{}x{}".format(*serial.grid),
+            "serial_ms": round(serial_s * 1e3, 2),
+            "parallel_ms": round(parallel_s * 1e3, 2),
+            "speedup": round(serial_s / parallel_s, 2),
+        })
+    # Element-wise + transpose on the dense operands of the first workload.
+    label, m, k, n, bs, density = SHAPES[smoke][0]
+    left, right = _matrices(m, k, m, bs, density)
+    assert np.array_equal(left.add(right, 1).to_numpy(),
+                          left.add(right, PARALLEL).to_numpy())
+    assert np.array_equal(left.transpose(1).to_numpy(),
+                          left.transpose(PARALLEL).to_numpy())
+    for name, op in (("dense ewise add", lambda w: left.add(right, w)),
+                     ("dense transpose", lambda w: left.transpose(w))):
+        serial_s = _best_of(lambda: op(1))
+        parallel_s = _best_of(lambda: op(PARALLEL))
+        rows.append({
+            "workload": name,
+            "grid": "{}x{}".format(*left.grid),
+            "serial_ms": round(serial_s * 1e3, 2),
+            "parallel_ms": round(parallel_s * 1e3, 2),
+            "speedup": round(serial_s / parallel_s, 2),
+        })
+    return rows
+
+
+def _engine_row(smoke: bool) -> dict:
+    """End-to-end run: wall-clock differs, simulated metrics must not."""
+    from repro.algorithms import get_algorithm
+    from repro.data import load_dataset
+    from repro.engines import make_engine
+
+    scale = 0.2 if smoke else 0.5
+    iterations = 3 if smoke else 8
+    dataset = load_dataset("cri2", scale=scale)
+    algo = get_algorithm("dfp")
+    meta, data = algo.make_inputs(dataset.matrix)
+
+    def run(workers: int):
+        cluster = replace(ClusterConfig(), kernel_workers=workers)
+        engine = make_engine("remac", cluster)
+        started = time.perf_counter()
+        result = engine.run(algo.program(iterations), meta, data,
+                            symmetric=algo.symmetric_inputs,
+                            iterations=iterations)
+        return time.perf_counter() - started, result
+
+    serial_s, serial = run(1)
+    parallel_s, parallel = run(PARALLEL)
+    serial_summary = serial.metrics.summary()
+    parallel_summary = parallel.metrics.summary()
+    for summary, result in ((serial_summary, serial),
+                            (parallel_summary, parallel)):
+        # Compilation is measured in real wall-clock; rebuild the total from
+        # the simulated phases only so the comparison is exact.
+        summary.pop("seconds_compilation", None)
+        summary["seconds_total"] = sum(
+            v for k, v in result.metrics.seconds_by_phase.items()
+            if k != "compilation")
+    assert serial_summary == parallel_summary, \
+        "engine run: simulated metrics drifted between serial and parallel"
+    return {
+        "workload": "engine run (remac/dfp/cri2)",
+        "grid": f"scale {scale}, {iterations} iters",
+        "serial_ms": round(serial_s * 1e3, 2),
+        "parallel_ms": round(parallel_s * 1e3, 2),
+        "speedup": round(serial_s / parallel_s, 2),
+    }
+
+
+def execution_throughput(smoke: bool = False) -> list[dict]:
+    rows = _kernel_rows(smoke)
+    rows.append(_engine_row(smoke))
+    return rows
+
+
+def _write_report(rows: list[dict], smoke: bool) -> None:
+    from repro.bench import save_report
+
+    host_cpus = os.cpu_count() or 1
+    save_report("execution_throughput", rows,
+                title="Execution fast path — serial vs parallel kernels "
+                      f"(workers={PARALLEL}, host cores={host_cpus})")
+    out = Path(__file__).resolve().parents[1] \
+        / "BENCH_execution_throughput.json"
+    out.write_text(json.dumps({"kernel_workers": PARALLEL,
+                               "host_cpus": host_cpus,
+                               "smoke": smoke,
+                               "rows": rows}, indent=2) + "\n")
+
+
+def _assert_acceptance(rows: list[dict]) -> None:
+    host_cpus = os.cpu_count() or 1
+    matmul = next(r for r in rows if r["workload"] == "dense matmul")
+    if host_cpus >= PARALLEL:
+        assert matmul["speedup"] >= SPEEDUP_FLOOR, \
+            (f"dense matmul speedup {matmul['speedup']}x below "
+             f"{SPEEDUP_FLOOR}x on a {host_cpus}-core host")
+    else:
+        print(f"note: speedup assertion skipped — host has {host_cpus} "
+              f"core(s), needs >={PARALLEL} for threads to win")
+
+
+def test_execution_throughput(benchmark, ctx):
+    rows = benchmark.pedantic(execution_throughput, args=(False,),
+                              rounds=1, iterations=1)
+    _write_report(rows, smoke=False)
+    _assert_acceptance(rows)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serial vs parallel block-kernel throughput")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small shapes: verify bit-identity and emit "
+                             "the report without the speedup assertion")
+    args = parser.parse_args(argv)
+    rows = execution_throughput(smoke=args.smoke)
+    _write_report(rows, smoke=args.smoke)
+    if not args.smoke:
+        _assert_acceptance(rows)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

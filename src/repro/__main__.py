@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 
 from . import __version__
 from .algorithms import ALGORITHMS, get_algorithm
@@ -77,6 +78,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="thread-pool width for candidate pricing "
                           "(1 = serial, 0 = one thread per CPU; "
                           "default: serial)")
+    run.add_argument("--kernel-workers", type=int, default=None, metavar="W",
+                     help="thread-pool width for block-level execution "
+                          "kernels (1 = serial, 0 = one thread per CPU; "
+                          "default: serial); perf-only — results and "
+                          "simulated times are bit-identical at any width")
     run.add_argument("--trace", default=None, metavar="PATH",
                      help="record an operator-level execution trace and "
                           "write it to PATH as JSON, one span per line; "
@@ -125,6 +131,8 @@ def _command_run(args) -> int:
         engine_kwargs["estimator"] = args.estimator
     engine_kwargs["optimizer_config"] = _optimizer_config(args)
     cluster = ClusterConfig()
+    if args.kernel_workers is not None:
+        cluster = replace(cluster, kernel_workers=args.kernel_workers)
     if args.single_node:
         cluster = cluster.as_single_node()
     dataset = load_dataset(args.dataset, scale=args.scale)

@@ -42,6 +42,11 @@ class ClusterConfig:
     #: Single-node mode: every operator runs locally with no transmission
     #: (the paper's Fig. 3(b) setting, "sufficient memory").
     single_node: bool = False
+    #: Host threads for block-level kernels at execution time: 1 = serial
+    #: (the seed behaviour and default), 0 = one thread per CPU, n > 1 =
+    #: that many threads. Perf-only — results, simulated time, and metrics
+    #: are bit-identical at any width (``--kernel-workers`` on the CLI).
+    kernel_workers: int = 1
 
     @property
     def cluster_flops(self) -> float:

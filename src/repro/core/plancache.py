@@ -47,6 +47,11 @@ PERF_ONLY_CONFIG_FIELDS = frozenset({
     "plan_cache", "plan_cache_size", "cost_memo", "pricing_workers",
 })
 
+#: ClusterConfig fields that cannot affect the chosen plan or its
+#: predicted cost — the kernel thread-pool width only changes host
+#: wall-clock, so toggling it must hit the same cached plan.
+PERF_ONLY_CLUSTER_FIELDS = frozenset({"kernel_workers"})
+
 
 class DataTokens:
     """Stable identity tokens for bound input data objects.
@@ -120,6 +125,12 @@ def _config_text(config: OptimizerConfig) -> str:
     return ";".join(parts)
 
 
+def _cluster_text(cluster: ClusterConfig) -> str:
+    parts = [f"{f.name}={getattr(cluster, f.name)!r}"
+             for f in fields(cluster) if f.name not in PERF_ONLY_CLUSTER_FIELDS]
+    return ";".join(parts)
+
+
 def plan_fingerprint(program: Program, inputs: dict,
                      config: OptimizerConfig, cluster: ClusterConfig,
                      policy: ExecutionPolicy,
@@ -142,7 +153,7 @@ def plan_fingerprint(program: Program, inputs: dict,
         "loops", ",".join(str(loop.max_iterations) for loop in program.loops()),
         "inputs", "\n".join(meta_lines),
         "config", _config_text(config),
-        "cluster", repr(cluster),
+        "cluster", _cluster_text(cluster),
         "policy", repr(policy),
         "iterations", repr(iterations),
     ]

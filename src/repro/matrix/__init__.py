@@ -2,6 +2,12 @@
 
 from .block import Block, zeros
 from .blocked import DEFAULT_BLOCK_SIZE, BlockedMatrix
+from .blockpool import (
+    default_kernel_workers,
+    map_blocks,
+    resolve_kernel_workers,
+    set_default_kernel_workers,
+)
 from .formats import (
     DENSE_THRESHOLD,
     ULTRA_SPARSE_THRESHOLD,
@@ -16,6 +22,8 @@ from .partitioner import HashPartitioner, worker_of_block
 __all__ = [
     "Block", "zeros",
     "BlockedMatrix", "DEFAULT_BLOCK_SIZE",
+    "map_blocks", "resolve_kernel_workers",
+    "default_kernel_workers", "set_default_kernel_workers",
     "StorageFormat", "choose_format", "size_in_bytes", "dense_size_in_bytes",
     "DENSE_THRESHOLD", "ULTRA_SPARSE_THRESHOLD",
     "MatrixMeta", "scalar_meta", "DOUBLE_BYTES",

@@ -23,10 +23,13 @@ class Block:
 
     The payload adapts between dense and CSR based on its own sparsity, the
     way SystemDS converts block layouts. All arithmetic returns new blocks;
-    payloads are treated as immutable.
+    payloads are treated as immutable — which makes ``nnz`` (a full payload
+    scan for dense blocks) safe to cache on first use. Everything else the
+    runtime repeatedly asks for (``sparsity``, ``serialized_bytes``,
+    ``meta``) derives from the cached count in O(1).
     """
 
-    __slots__ = ("data",)
+    __slots__ = ("data", "_nnz")
 
     def __init__(self, data: Payload):
         if sparse.issparse(data):
@@ -36,6 +39,7 @@ class Block:
             if data.ndim != 2:
                 raise ValueError(f"block payload must be 2-D, got {data.ndim}-D")
         self.data = data
+        self._nnz: int | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -46,9 +50,14 @@ class Block:
 
     @property
     def nnz(self) -> int:
-        if sparse.issparse(self.data):
-            return int(self.data.nnz)
-        return int(np.count_nonzero(self.data))
+        cached = self._nnz
+        if cached is None:
+            if sparse.issparse(self.data):
+                cached = int(self.data.nnz)
+            else:
+                cached = int(np.count_nonzero(self.data))
+            self._nnz = cached
+        return cached
 
     @property
     def sparsity(self) -> float:

@@ -11,18 +11,35 @@ The arithmetic here is *logical* — correct values computed with NumPy/SciPy.
 Distribution effects (which worker holds which block, what a multiply
 shuffles) are the runtime's business; it consumes the grid structure exposed
 here.
+
+Two execution fast paths live at this layer (see ``docs/architecture.md``
+§10), both invariant-preserving — results, simulated time, and metrics are
+bit-identical to the serial seed behaviour:
+
+* **Parallel block kernels.** The tile loops of ``matmul``, the cell-wise
+  ops, ``transpose``, ``map_cells``, ``add_scalar``, and construction fan
+  out over the shared thread pool in :mod:`repro.matrix.blockpool` when a
+  ``workers`` count > 1 is passed (the runtime threads
+  ``ClusterConfig.kernel_workers`` through). Each helper preserves the
+  serial iteration order for every float fold and grid insertion, so
+  parallelism only changes host wall-clock, never a value.
+* **Cached block statistics.** Grids are treated as immutable once an
+  operation returns, so ``nnz``, ``serialized_bytes()``, and ``meta()``
+  are computed once and cached; callers that legitimately edit ``blocks``
+  afterwards must call :meth:`BlockedMatrix.invalidate_stats`.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterator
+from typing import Callable, Iterator
 
 import numpy as np
 from scipy import sparse
 
-from ..errors import ShapeError
+from ..errors import ExecutionError, ShapeError
 from .block import Block
+from .blockpool import map_blocks
 from .meta import MatrixMeta
 
 DEFAULT_BLOCK_SIZE = 512
@@ -42,50 +59,73 @@ class BlockedMatrix:
         self.cols = cols
         self.block_size = block_size
         self.blocks: dict[tuple[int, int], Block] = blocks if blocks is not None else {}
-        self.symmetric = symmetric
+        self._symmetric = symmetric
+        # Lazily cached grid statistics (populated on first use; every
+        # constructor below finishes mutating ``blocks`` before any read).
+        self._nnz: int | None = None
+        self._bytes: float | None = None
+        self._meta: MatrixMeta | None = None
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
     def from_numpy(cls, array: np.ndarray, block_size: int = DEFAULT_BLOCK_SIZE,
-                   symmetric: bool = False) -> "BlockedMatrix":
+                   symmetric: bool = False,
+                   workers: int | None = None) -> "BlockedMatrix":
         array = np.atleast_2d(np.asarray(array, dtype=np.float64))
         rows, cols = array.shape
         result = cls(rows, cols, block_size, symmetric=symmetric)
-        for bi in range(result.row_blocks):
-            for bj in range(result.col_blocks):
+        col_blocks = result.col_blocks
+
+        def build_row(bi: int) -> list[tuple[tuple[int, int], Block]]:
+            row: list[tuple[tuple[int, int], Block]] = []
+            for bj in range(col_blocks):
                 tile = array[bi * block_size:(bi + 1) * block_size,
                              bj * block_size:(bj + 1) * block_size]
                 if np.any(tile):
-                    result.blocks[(bi, bj)] = Block(tile.copy()).normalized()
+                    row.append(((bi, bj), Block(tile.copy()).normalized()))
+            return row
+
+        for row in map_blocks(build_row, range(result.row_blocks), workers):
+            result.blocks.update(row)
         return result
 
     @classmethod
     def from_scipy(cls, matrix: sparse.spmatrix, block_size: int = DEFAULT_BLOCK_SIZE,
-                   symmetric: bool = False) -> "BlockedMatrix":
+                   symmetric: bool = False,
+                   workers: int | None = None) -> "BlockedMatrix":
         matrix = matrix.tocsr()
         rows, cols = matrix.shape
         result = cls(rows, cols, block_size, symmetric=symmetric)
-        for bi in range(result.row_blocks):
+        col_blocks = result.col_blocks
+
+        def build_row(bi: int) -> list[tuple[tuple[int, int], Block]]:
+            row: list[tuple[tuple[int, int], Block]] = []
             row_slab = matrix[bi * block_size:(bi + 1) * block_size, :]
             if row_slab.nnz == 0:
-                continue
+                return row
             slab_csc = row_slab.tocsc()
-            for bj in range(result.col_blocks):
+            for bj in range(col_blocks):
                 tile = slab_csc[:, bj * block_size:(bj + 1) * block_size]
                 if tile.nnz:
-                    result.blocks[(bi, bj)] = Block(tile.tocsr()).normalized()
+                    row.append(((bi, bj), Block(tile.tocsr()).normalized()))
+            return row
+
+        for row in map_blocks(build_row, range(result.row_blocks), workers):
+            result.blocks.update(row)
         return result
 
     @classmethod
     def from_any(cls, data, block_size: int = DEFAULT_BLOCK_SIZE,
-                 symmetric: bool = False) -> "BlockedMatrix":
+                 symmetric: bool = False,
+                 workers: int | None = None) -> "BlockedMatrix":
         if isinstance(data, BlockedMatrix):
             return data
         if sparse.issparse(data):
-            return cls.from_scipy(data, block_size, symmetric)
-        return cls.from_numpy(np.asarray(data), block_size, symmetric)
+            return cls.from_scipy(data, block_size, symmetric, workers=workers)
+        return cls.from_numpy(np.asarray(data), block_size, symmetric,
+                              workers=workers)
 
     @classmethod
     def scalar(cls, value: float, block_size: int = DEFAULT_BLOCK_SIZE) -> "BlockedMatrix":
@@ -116,8 +156,21 @@ class BlockedMatrix:
         return self.row_blocks * self.col_blocks
 
     @property
+    def symmetric(self) -> bool:
+        return self._symmetric
+
+    @symmetric.setter
+    def symmetric(self, value: bool) -> None:
+        if value != self._symmetric:
+            self._symmetric = value
+            self._meta = None  # meta() carries the flag
+
+    @property
     def nnz(self) -> int:
-        return sum(block.nnz for block in self.blocks.values())
+        cached = self._nnz
+        if cached is None:
+            cached = self._nnz = sum(block.nnz for block in self.blocks.values())
+        return cached
 
     @property
     def sparsity(self) -> float:
@@ -130,11 +183,30 @@ class BlockedMatrix:
 
     def meta(self) -> MatrixMeta:
         """Observed metadata (true sparsity, not an estimate)."""
-        return MatrixMeta(self.rows, self.cols, self.sparsity, symmetric=self.symmetric)
+        cached = self._meta
+        if cached is None:
+            cached = self._meta = MatrixMeta(self.rows, self.cols, self.sparsity,
+                                             symmetric=self._symmetric)
+        return cached
 
     def serialized_bytes(self) -> float:
         """Total wire size over materialized blocks."""
-        return sum(block.serialized_bytes() for block in self.blocks.values())
+        cached = self._bytes
+        if cached is None:
+            cached = self._bytes = sum(block.serialized_bytes()
+                                       for block in self.blocks.values())
+        return cached
+
+    def invalidate_stats(self) -> None:
+        """Drop cached ``nnz``/``serialized_bytes``/``meta`` statistics.
+
+        Required only after editing :attr:`blocks` in place — every
+        operation here returns a freshly built grid, so normal use never
+        needs it.
+        """
+        self._nnz = None
+        self._bytes = None
+        self._meta = None
 
     def block_dims(self, bi: int, bj: int) -> tuple[int, int]:
         """Dimensions of grid tile (bi, bj), accounting for ragged edges."""
@@ -172,73 +244,107 @@ class BlockedMatrix:
     # ------------------------------------------------------------------
     # Logical arithmetic (used by the executor's kernels)
     # ------------------------------------------------------------------
-    def transpose(self) -> "BlockedMatrix":
+    def transpose(self, workers: int | None = None) -> "BlockedMatrix":
         result = BlockedMatrix(self.cols, self.rows, self.block_size,
                                symmetric=self.symmetric)
-        for (bi, bj), block in self.blocks.items():
-            result.blocks[(bj, bi)] = block.transpose()
+        entries = list(self.blocks.items())
+        result.blocks.update(map_blocks(_transposed_entry, entries, workers))
         return result
 
-    def matmul(self, other: "BlockedMatrix") -> "BlockedMatrix":
+    def matmul(self, other: "BlockedMatrix",
+               workers: int | None = None) -> "BlockedMatrix":
         if self.cols != other.rows:
             raise ShapeError(
                 f"matmul shape mismatch: {self.rows}x{self.cols} @ {other.rows}x{other.cols}")
         if self.block_size != other.block_size:
             raise ShapeError("matmul requires operands with identical block sizes")
-        result = BlockedMatrix(self.rows, other.cols, self.block_size)
+        # A x A of a symmetric A is provably symmetric: (AA)^T = A^T A^T = AA.
+        result = BlockedMatrix(self.rows, other.cols, self.block_size,
+                               symmetric=self is other and self.symmetric)
         # Group right-operand blocks by their row-block index so we only touch
         # compatible pairs (a sparse-grid join on the inner dimension).
         right_by_row: dict[int, list[tuple[int, Block]]] = {}
         for (bk, bj), block in other.blocks.items():
             right_by_row.setdefault(bk, []).append((bj, block))
-        partials: dict[tuple[int, int], Block] = {}
+        # Per-output-tile contribution lists. Tiles are discovered in
+        # first-touch order and each tile's pairs in left-block scan order —
+        # exactly the serial accumulation order, so the per-tile partial-sum
+        # folds (and the result grid's insertion order) are bit-identical no
+        # matter how the tile tasks are scheduled.
+        contributions: dict[tuple[int, int], list[tuple[Block, Block]]] = {}
         for (bi, bk), left_block in self.blocks.items():
             for bj, right_block in right_by_row.get(bk, ()):
-                product = left_block.matmul(right_block)
-                key = (bi, bj)
-                if key in partials:
-                    partials[key] = partials[key].add(product)
-                else:
-                    partials[key] = product
-        for key, block in partials.items():
-            if not block.is_zero():
-                result.blocks[key] = block.normalized()
+                pairs = contributions.get((bi, bj))
+                if pairs is None:
+                    contributions[(bi, bj)] = pairs = []
+                pairs.append((left_block, right_block))
+        tiles = map_blocks(_tile_product, list(contributions.values()), workers)
+        for key, block in zip(contributions, tiles):
+            if block is not None:
+                result.blocks[key] = block
         return result
 
-    def _zip(self, other: "BlockedMatrix", op_name: str) -> "BlockedMatrix":
+    def _zip(self, other: "BlockedMatrix", op_name: str,
+             workers: int | None = None) -> "BlockedMatrix":
+        """Cell-wise combine; see the named wrappers below.
+
+        Implicit (absent) blocks are all-zero tiles. ``multiply`` skips a
+        tile when either side is absent (x * 0 == 0); ``divide`` raises
+        :class:`~repro.errors.ExecutionError` when the divisor's tile is
+        absent and the numerator's is not — materializing the zero tile
+        would silently produce ``inf``/``nan`` cells (this matches the
+        scalar-divide guard in ``Kernels._scalar_ewise``). A tile absent on
+        *both* sides stays absent for every op, including divide: the
+        result cell is defined as zero, the sparse-grid shortcut the seed
+        semantics always took.
+        """
         if self.shape != other.shape:
             raise ShapeError(
                 f"cell-wise shape mismatch: {self.rows}x{self.cols} vs "
                 f"{other.rows}x{other.cols}")
         result = BlockedMatrix(self.rows, self.cols, self.block_size)
-        keys = set(self.blocks) | set(other.blocks)
-        for key in keys:
+        keys = list(set(self.blocks) | set(other.blocks))
+
+        def combine(key: tuple[int, int]) -> Block | None:
             left = self.blocks.get(key)
             right = other.blocks.get(key)
             if left is None and right is None:
-                continue
+                return None
             if left is None:
                 left = _zero_like(self, key)
             if right is None:
-                if op_name in ("multiply",):
-                    continue  # x * 0 == 0
+                if op_name == "multiply":
+                    return None  # x * 0 == 0
+                if op_name == "divide":
+                    raise ExecutionError(
+                        f"division by an implicit zero block at grid {key}; "
+                        "materializing it would produce inf/nan cells")
                 right = _zero_like(other, key)
             block = getattr(left, op_name)(right)
-            if not block.is_zero():
-                result.blocks[key] = block.normalized()
+            if block.is_zero():
+                return None
+            return block.normalized()
+
+        for key, block in zip(keys, map_blocks(combine, keys, workers)):
+            if block is not None:
+                result.blocks[key] = block
         return result
 
-    def add(self, other: "BlockedMatrix") -> "BlockedMatrix":
-        return self._zip(other, "add")
+    def add(self, other: "BlockedMatrix",
+            workers: int | None = None) -> "BlockedMatrix":
+        return self._zip(other, "add", workers)
 
-    def subtract(self, other: "BlockedMatrix") -> "BlockedMatrix":
-        return self._zip(other, "subtract")
+    def subtract(self, other: "BlockedMatrix",
+                 workers: int | None = None) -> "BlockedMatrix":
+        return self._zip(other, "subtract", workers)
 
-    def multiply(self, other: "BlockedMatrix") -> "BlockedMatrix":
-        return self._zip(other, "multiply")
+    def multiply(self, other: "BlockedMatrix",
+                 workers: int | None = None) -> "BlockedMatrix":
+        return self._zip(other, "multiply", workers)
 
-    def divide(self, other: "BlockedMatrix") -> "BlockedMatrix":
-        return self._zip(other, "divide")
+    def divide(self, other: "BlockedMatrix",
+               workers: int | None = None) -> "BlockedMatrix":
+        return self._zip(other, "divide", workers)
 
     def scale(self, scalar: float) -> "BlockedMatrix":
         result = BlockedMatrix(self.rows, self.cols, self.block_size,
@@ -249,17 +355,28 @@ class BlockedMatrix:
             result.blocks[key] = block.scale(scalar)
         return result
 
-    def add_scalar(self, scalar: float) -> "BlockedMatrix":
+    def add_scalar(self, scalar: float,
+                   workers: int | None = None) -> "BlockedMatrix":
         if scalar == 0.0:
-            return self
+            # Value-identical to self, but with a fresh grid dict: callers
+            # may edit the result's grid without aliasing this matrix
+            # (blocks themselves are immutable and safely shared).
+            return BlockedMatrix(self.rows, self.cols, self.block_size,
+                                 blocks=dict(self.blocks),
+                                 symmetric=self.symmetric)
         result = BlockedMatrix(self.rows, self.cols, self.block_size,
                                symmetric=self.symmetric)
-        for bi in range(self.row_blocks):
-            for bj in range(self.col_blocks):
-                block = self.blocks.get((bi, bj))
-                if block is None:
-                    block = _zero_like(self, (bi, bj))
-                result.blocks[(bi, bj)] = block.add_scalar(scalar)
+        coords = [(bi, bj) for bi in range(self.row_blocks)
+                  for bj in range(self.col_blocks)]
+
+        def shifted(key: tuple[int, int]) -> Block:
+            block = self.blocks.get(key)
+            if block is None:
+                block = _zero_like(self, key)
+            return block.add_scalar(scalar)
+
+        for key, block in zip(coords, map_blocks(shifted, coords, workers)):
+            result.blocks[key] = block
         return result
 
     def negate(self) -> "BlockedMatrix":
@@ -272,7 +389,8 @@ class BlockedMatrix:
     def sum(self) -> float:
         return sum(block.sum() for block in self.blocks.values())
 
-    def map_cells(self, func, preserves_zero: bool) -> "BlockedMatrix":
+    def map_cells(self, func, preserves_zero: bool,
+                  workers: int | None = None) -> "BlockedMatrix":
         """Apply ``func`` cell-wise.
 
         Zero-preserving maps run on sparse payloads directly; densifying
@@ -282,56 +400,124 @@ class BlockedMatrix:
         result = BlockedMatrix(self.rows, self.cols, self.block_size,
                                symmetric=self.symmetric)
         if preserves_zero:
-            for key, block in self.blocks.items():
+            def mapped(entry: tuple[tuple[int, int], Block]):
+                key, block = entry
                 if block.is_sparse:
-                    mapped = block.data.copy()
-                    mapped.data = func(mapped.data)
-                    result.blocks[key] = Block(mapped).normalized()
-                else:
-                    result.blocks[key] = Block(func(block.data)).normalized()
+                    payload = block.data.copy()
+                    payload.data = func(payload.data)
+                    return key, Block(payload).normalized()
+                return key, Block(func(block.data)).normalized()
+
+            entries = list(self.blocks.items())
+            result.blocks.update(map_blocks(mapped, entries, workers))
             return result
-        for bi in range(self.row_blocks):
-            for bj in range(self.col_blocks):
-                block = self.blocks.get((bi, bj))
-                payload = block.to_dense_array() if block is not None \
-                    else np.zeros(self.block_dims(bi, bj))
-                result.blocks[(bi, bj)] = Block(func(payload))
+
+        def densified(key: tuple[int, int]):
+            block = self.blocks.get(key)
+            payload = block.to_dense_array() if block is not None \
+                else np.zeros(self.block_dims(*key))
+            return key, Block(func(payload))
+
+        coords = [(bi, bj) for bi in range(self.row_blocks)
+                  for bj in range(self.col_blocks)]
+        result.blocks.update(map_blocks(densified, coords, workers))
         return result
 
     def row_sums(self) -> "BlockedMatrix":
-        """Column vector of per-row sums."""
-        out = np.zeros((self.rows, 1))
-        size = self.block_size
+        """Column vector of per-row sums.
+
+        Builds only the row-tiles that stored blocks touch — a mostly-empty
+        grid never materializes a full dense vector.
+        """
+        partials: dict[int, np.ndarray] = {}
         for (bi, _bj), block in self.blocks.items():
             sums = np.asarray(block.data.sum(axis=1)).reshape(-1, 1)
-            out[bi * size:bi * size + sums.shape[0]] += sums
-        return BlockedMatrix.from_numpy(out, self.block_size)
+            buffer = partials.get(bi)
+            if buffer is None:
+                partials[bi] = buffer = np.zeros((sums.shape[0], 1))
+            buffer += sums
+        return self._assemble_column(partials, self.rows)
 
     def col_sums(self) -> "BlockedMatrix":
-        """Row vector of per-column sums."""
-        out = np.zeros((1, self.cols))
-        size = self.block_size
+        """Row vector of per-column sums (sparse-grid aware, as row_sums)."""
+        partials: dict[int, np.ndarray] = {}
         for (_bi, bj), block in self.blocks.items():
             sums = np.asarray(block.data.sum(axis=0)).reshape(1, -1)
-            out[:, bj * size:bj * size + sums.shape[1]] += sums
-        return BlockedMatrix.from_numpy(out, self.block_size)
+            buffer = partials.get(bj)
+            if buffer is None:
+                partials[bj] = buffer = np.zeros((1, sums.shape[1]))
+            buffer += sums
+        result = BlockedMatrix(1, self.cols, self.block_size)
+        for bj in sorted(partials):
+            tile = partials[bj]
+            if np.any(tile):
+                result.blocks[(0, bj)] = Block(tile).normalized()
+        return result
 
     def diagonal(self) -> "BlockedMatrix":
-        """The main diagonal of a square matrix, as a column vector."""
+        """The main diagonal of a square matrix, as a column vector.
+
+        Only diagonal grid tiles are touched, and sparse payloads yield
+        their diagonal without densifying the block.
+        """
         if self.rows != self.cols:
             raise ShapeError(f"diagonal of a non-square {self.rows}x{self.cols} matrix")
-        out = np.zeros((self.rows, 1))
-        size = self.block_size
-        for (bi, bj), block in self.blocks.items():
-            if bi != bj:
+        partials: dict[int, np.ndarray] = {}
+        for bi in range(self.row_blocks):
+            block = self.blocks.get((bi, bi))
+            if block is None:
                 continue
-            diag = block.to_dense_array().diagonal().reshape(-1, 1)
-            out[bi * size:bi * size + diag.shape[0]] = diag
-        return BlockedMatrix.from_numpy(out, self.block_size)
+            diag = np.asarray(block.data.diagonal(), dtype=np.float64)
+            partials[bi] = diag.reshape(-1, 1).copy()
+        return self._assemble_column(partials, self.rows)
+
+    def _assemble_column(self, partials: dict[int, np.ndarray],
+                         rows: int) -> "BlockedMatrix":
+        """A (rows x 1) matrix from per-row-block tiles, skipping zeros."""
+        result = BlockedMatrix(rows, 1, self.block_size)
+        for bi in sorted(partials):
+            tile = partials[bi]
+            if np.any(tile):
+                result.blocks[(bi, 0)] = Block(tile).normalized()
+        return result
 
     def __repr__(self) -> str:
         return (f"BlockedMatrix({self.rows}x{self.cols}, block={self.block_size}, "
                 f"grid={self.row_blocks}x{self.col_blocks}, nnz={self.nnz})")
+
+
+def _transposed_entry(entry: tuple[tuple[int, int], Block]):
+    (bi, bj), block = entry
+    return (bj, bi), block.transpose()
+
+
+def _tile_product(pairs: list[tuple[Block, Block]]) -> Block | None:
+    """One output tile: sum of block products, accumulated sparse-aware.
+
+    Partials stay CSR while every contribution is sparse (CSR + CSR); the
+    accumulator densifies at the first dense contribution and is then
+    summed in place — no per-pair ``Block`` wrappers or re-allocation. The
+    fold runs left-to-right over ``pairs`` (the serial scan order), so the
+    float results are bit-identical to pairwise ``Block.add``.
+    """
+    accumulator = None
+    for left, right in pairs:
+        product = left.data @ right.data
+        if accumulator is None:
+            accumulator = product
+        elif sparse.issparse(accumulator) and sparse.issparse(product):
+            accumulator = accumulator + product
+        else:
+            if sparse.issparse(accumulator):
+                accumulator = accumulator.toarray()
+            dense = product.toarray() if sparse.issparse(product) else product
+            # The accumulator is always a private array here (a fresh
+            # product or a toarray() copy), so in-place add is safe.
+            np.add(accumulator, dense, out=accumulator)
+    tile = Block(accumulator)
+    if tile.is_zero():
+        return None
+    return tile.normalized()
 
 
 def _zero_like(matrix: BlockedMatrix, key: tuple[int, int]) -> Block:

@@ -1,0 +1,101 @@
+"""Shared worker pool for block-level kernels (the execution fast path).
+
+:mod:`repro.matrix.blocked` operations loop over grid tiles whose payload
+arithmetic is NumPy/SciPy kernels — all of which release the GIL — so
+fanning the per-tile work out across threads is a real wall-clock speedup
+on multi-core hosts. This module owns that fan-out:
+
+* :func:`map_blocks` maps a function over a batch of independent tile
+  tasks, preserving input order so every caller's reduction (partial-sum
+  merges, grid insertion, float folds) runs in exactly the serial order —
+  parallelism reschedules independent work, it never reorders arithmetic.
+  Results, simulated time, and metrics are therefore bit-identical to the
+  serial path by construction.
+* Pools are shared per width and reused across operations; spinning a
+  ``ThreadPoolExecutor`` up per matmul would dominate small grids.
+
+The knob follows :data:`repro.config.ClusterConfig.kernel_workers` and the
+``--kernel-workers`` CLI flag: ``1`` (the default everywhere) is the serial
+seed behaviour with zero thread overhead, ``0`` means one worker per CPU,
+``n > 1`` means that many workers. This module lives under
+:mod:`repro.matrix` (not :mod:`repro.runtime`) because the blocked-matrix
+layer may not import the runtime — the dependency points the other way.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+Item = TypeVar("Item")
+Result = TypeVar("Result")
+
+#: Module default used when an operation is called without an explicit
+#: worker count (direct :class:`~repro.matrix.blocked.BlockedMatrix` use in
+#: tests and scripts). 1 = serial, the seed behaviour.
+_default_workers = 1
+
+_pools: dict[int, ThreadPoolExecutor] = {}
+_pools_lock = threading.Lock()
+
+
+def resolve_kernel_workers(workers: int | None) -> int:
+    """Normalize a kernel-worker knob to an effective thread count.
+
+    ``None`` defers to the module default (see
+    :func:`set_default_kernel_workers`); ``0`` means one worker per CPU;
+    anything else is clamped to at least 1.
+    """
+    if workers is None:
+        workers = _default_workers
+    if workers == 0:
+        return os.cpu_count() or 1
+    return max(1, workers)
+
+
+def set_default_kernel_workers(workers: int) -> int:
+    """Set the module default used when no explicit count is given.
+
+    Returns the previous default so callers can restore it (tests and
+    benchmarks use this as a scoped override).
+    """
+    global _default_workers
+    previous = _default_workers
+    _default_workers = workers
+    return previous
+
+
+def default_kernel_workers() -> int:
+    """The current module default (1 = serial unless overridden)."""
+    return _default_workers
+
+
+def _shared_pool(width: int) -> ThreadPoolExecutor:
+    """The process-wide pool of ``width`` threads, created on first use."""
+    pool = _pools.get(width)
+    if pool is None:
+        with _pools_lock:
+            pool = _pools.get(width)
+            if pool is None:
+                pool = ThreadPoolExecutor(
+                    max_workers=width, thread_name_prefix="repro-kernel")
+                _pools[width] = pool
+    return pool
+
+
+def map_blocks(fn: Callable[[Item], Result], items: Iterable[Item],
+               workers: int | None = None) -> list[Result]:
+    """Map ``fn`` over independent tile tasks, preserving input order.
+
+    Serial (a plain comprehension, no pool touched) when the effective
+    worker count is 1 or the batch is trivial. Exceptions propagate either
+    way.
+    """
+    batch: Sequence[Item] = items if isinstance(items, (list, tuple)) \
+        else list(items)
+    width = resolve_kernel_workers(workers)
+    if width <= 1 or len(batch) <= 1:
+        return [fn(item) for item in batch]
+    return list(_shared_pool(width).map(fn, batch))

@@ -87,6 +87,10 @@ class Kernels:
         self.policy = policy or ExecutionPolicy.systemds()
         self.metrics = metrics or MetricsCollector()
         self.network = Network(config, self.metrics)
+        #: Thread-pool width for block-level kernels (1 = serial seed
+        #: behaviour). Perf-only: values, simulated time, and metrics are
+        #: bit-identical at any width — see ``docs/architecture.md`` §10.
+        self.kernel_workers = config.kernel_workers
         #: Optional :class:`~repro.runtime.trace.ExecutionTracer`. Every
         #: hook below is guarded by an ``is None`` check so tracing is
         #: zero-cost when off (no spans allocated, no placement scans).
@@ -130,7 +134,8 @@ class Kernels:
         partitioning a dataset in parallel" (§6.5).
         """
         matrix = BlockedMatrix.from_any(data, block_size=self.config.block_size,
-                                        symmetric=symmetric)
+                                        symmetric=symmetric,
+                                        workers=self.kernel_workers)
         meta = matrix.meta()
         from .hybrid import value_distributed
         distributed = value_distributed(meta, self.config, self.policy)
@@ -159,13 +164,19 @@ class Kernels:
         blocks worker-locally: they cost FLOP touches but no re-keying
         shuffle, unlike :meth:`transpose`.
         """
+        workers = self.kernel_workers
         left_meta = left.meta.transposed() if left_transposed else left.meta
         right_meta = right.meta.transposed() if right_transposed else right.meta
-        left_mat = left.matrix.transpose() if left_transposed else left.matrix
-        right_mat = right.matrix.transpose() if right_transposed else right.matrix
+        left_mat = left.matrix.transpose(workers) if left_transposed else left.matrix
+        right_mat = right.matrix.transpose(workers) if right_transposed \
+            else right.matrix
         left_mat, right_mat = self._coerce_mixed(left_mat, right_mat)
 
-        result = left_mat.matmul(right_mat)
+        result = left_mat.matmul(right_mat, workers=workers)
+        # t(X) %*% X and X %*% t(X) are provably symmetric whatever X is
+        # (the flag changes no pricing — metas price by shape and sparsity).
+        if left.matrix is right.matrix and left_transposed != right_transposed:
+            result.symmetric = True
         out_meta = result.meta()
         price = price_matmul(left_meta, right_meta, out_meta, self.config, self.policy,
                              left_fused_transpose=left_transposed,
@@ -185,8 +196,9 @@ class Kernels:
         :meth:`ExecutionPolicy.mmchain_applicable_cols` first.
         """
         from .pricing import price_mmchain
-        inner = x.matrix.matmul(v.matrix)
-        result = x.matrix.transpose().matmul(inner)
+        workers = self.kernel_workers
+        inner = x.matrix.matmul(v.matrix, workers=workers)
+        result = x.matrix.transpose(workers).matmul(inner, workers=workers)
         price = price_mmchain(x.meta, v.meta, result.meta(), self.config,
                               self.policy, imbalance=x.imbalance)
         self._charge(price)
@@ -205,7 +217,8 @@ class Kernels:
         if left_sparse == right_sparse:
             return left_mat, right_mat
         target = left_mat if left_sparse else right_mat
-        densified = BlockedMatrix.from_numpy(target.to_numpy(), target.block_size)
+        densified = BlockedMatrix.from_numpy(target.to_numpy(), target.block_size,
+                                             workers=self.kernel_workers)
         self.metrics.charge_compute(
             target.rows * target.cols / self.config.cluster_flops)
         if left_sparse:
@@ -221,7 +234,7 @@ class Kernels:
             return self._scalar_ewise(left.scalar_value(), right, kind, left_side=True)
         if right.is_scalar and not left.is_scalar:
             return self._scalar_ewise(right.scalar_value(), left, kind, left_side=False)
-        result = getattr(left.matrix, op_name)(right.matrix)
+        result = getattr(left.matrix, op_name)(right.matrix, self.kernel_workers)
         out_meta = result.meta()
         price = price_ewise(kind, left.meta, right.meta, out_meta, self.config,
                             self.policy, imbalance=max(left.imbalance, right.imbalance))
@@ -234,11 +247,12 @@ class Kernels:
     def _scalar_ewise(self, scalar: float, value: Value, kind: str,
                       left_side: bool) -> Value:
         matrix = value.matrix
+        workers = self.kernel_workers
         if kind == "add":
-            result = matrix.add_scalar(scalar)
+            result = matrix.add_scalar(scalar, workers)
         elif kind == "subtract":
-            result = matrix.negate().add_scalar(scalar) if left_side \
-                else matrix.add_scalar(-scalar)
+            result = matrix.negate().add_scalar(scalar, workers) if left_side \
+                else matrix.add_scalar(-scalar, workers)
         elif kind == "multiply":
             result = matrix.scale(scalar)
         elif kind == "divide":
@@ -292,7 +306,7 @@ class Kernels:
     # ------------------------------------------------------------------
     def transpose(self, value: Value) -> Value:
         """Materialized transpose: distributed inputs pay a re-key shuffle."""
-        result = value.matrix.transpose()
+        result = value.matrix.transpose(self.kernel_workers)
         price = price_transpose(value.meta, self.config, self.policy, value.imbalance)
         self._charge(price)
         out = self._wrap(result, price.output_distributed)
@@ -347,7 +361,8 @@ class Kernels:
             func, preserves_zero = self._CELLWISE[func_name]
         except KeyError:
             raise ExecutionError(f"unknown cell-wise builtin {func_name!r}") from None
-        result = value.matrix.map_cells(func, preserves_zero)
+        result = value.matrix.map_cells(func, preserves_zero,
+                                        self.kernel_workers)
         price = price_map(value.meta, result.meta(), self.config, self.policy,
                           value.imbalance)
         self._charge(price)

@@ -1,0 +1,237 @@
+"""Execution fast path: parallel kernels are bit-identical to serial.
+
+The invariant (docs/architecture.md §10): ``kernel_workers`` only changes
+host wall-clock. Simulated time, charged costs, metrics summaries, and
+result matrices must match the serial seed behaviour bit for bit, because
+every parallel helper preserves the serial fold and insertion order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from scipy import sparse as sp
+
+from repro.algorithms import get_algorithm
+from repro.config import ClusterConfig
+from repro.data import load_dataset
+from repro.engines import make_engine
+from repro.matrix import BlockedMatrix
+from repro.matrix.blockpool import (
+    default_kernel_workers,
+    map_blocks,
+    resolve_kernel_workers,
+    set_default_kernel_workers,
+)
+
+PARALLEL = 4
+
+
+def _env_digest(result) -> str:
+    digest = hashlib.sha256()
+    for name in sorted(result.env):
+        digest.update(name.encode())
+        digest.update(result.env[name].matrix.to_numpy().tobytes())
+    return digest.hexdigest()
+
+
+def _comparable_summary(result) -> dict:
+    """summary() minus the phases measured in real (not simulated) time.
+
+    The total is rebuilt from the simulated phases so the comparison stays
+    exact — subtracting the real-wall compile seconds from the float total
+    is not ulp-stable.
+    """
+    summary = result.metrics.summary()
+    summary.pop("seconds_compilation", None)
+    summary["seconds_total"] = sum(
+        v for k, v in result.metrics.seconds_by_phase.items()
+        if k != "compilation")
+    return summary
+
+
+def _run(workers: int, algorithm: str = "dfp", dataset: str = "cri2"):
+    cluster = replace(ClusterConfig(), kernel_workers=workers)
+    data = load_dataset(dataset, scale=0.3)
+    algo = get_algorithm(algorithm)
+    meta, inputs = algo.make_inputs(data.matrix)
+    engine = make_engine("remac", cluster)
+    return engine.run(algo.program(6), meta, inputs,
+                      symmetric=algo.symmetric_inputs, iterations=6)
+
+
+class TestBlockPool:
+    def test_resolve_serial_default(self):
+        assert resolve_kernel_workers(None) == 1
+        assert resolve_kernel_workers(1) == 1
+        assert resolve_kernel_workers(-3) == 1
+        assert resolve_kernel_workers(7) == 7
+
+    def test_resolve_zero_means_all_cpus(self):
+        import os
+        assert resolve_kernel_workers(0) == (os.cpu_count() or 1)
+
+    def test_default_override_scoped(self):
+        previous = set_default_kernel_workers(3)
+        try:
+            assert default_kernel_workers() == 3
+            assert resolve_kernel_workers(None) == 3
+        finally:
+            set_default_kernel_workers(previous)
+        assert resolve_kernel_workers(None) == previous
+
+    def test_map_blocks_preserves_order(self):
+        items = list(range(50))
+        assert map_blocks(lambda x: x * x, items, workers=4) \
+            == [x * x for x in items]
+
+    def test_map_blocks_propagates_exceptions(self):
+        def boom(x):
+            raise ValueError(f"bad item {x}")
+
+        with pytest.raises(ValueError, match="bad item"):
+            map_blocks(boom, [1, 2, 3], workers=4)
+
+
+class TestEngineEquivalence:
+    """Whole-program runs: serial and parallel must be indistinguishable."""
+
+    def test_dfp_summary_and_results_bit_identical(self):
+        serial = _run(1)
+        parallel = _run(PARALLEL)
+        assert _comparable_summary(serial) == _comparable_summary(parallel)
+        assert dict(serial.metrics.operator_counts) \
+            == dict(parallel.metrics.operator_counts)
+        assert _env_digest(serial) == _env_digest(parallel)
+
+    def test_gnmf_sparse_workload_bit_identical(self):
+        serial = _run(1, algorithm="gnmf", dataset="red2")
+        parallel = _run(PARALLEL, algorithm="gnmf", dataset="red2")
+        assert _comparable_summary(serial) == _comparable_summary(parallel)
+        assert _env_digest(serial) == _env_digest(parallel)
+
+    def test_repeated_parallel_runs_deterministic(self):
+        first = _run(PARALLEL)
+        second = _run(PARALLEL)
+        assert _comparable_summary(first) == _comparable_summary(second)
+        assert _env_digest(first) == _env_digest(second)
+
+    def test_worker_placement_bytes_identical(self):
+        serial = _run(1)
+        parallel = _run(PARALLEL)
+        assert dict(serial.metrics.bytes_by_worker) \
+            == dict(parallel.metrics.bytes_by_worker)
+
+
+class TestOperatorEquivalence:
+    """Per-operator bitwise equality, serial vs parallel, awkward grids."""
+
+    CASES = [
+        ("multi-block", (100, 70), (70, 90), 32),   # ragged edges both ways
+        ("single-block", (20, 20), (20, 20), 64),   # grid is 1x1
+        ("tall ragged", (130, 17), (17, 5), 32),
+    ]
+
+    @pytest.mark.parametrize("label, left_shape, right_shape, bs",
+                             CASES, ids=[c[0] for c in CASES])
+    def test_matmul_dense(self, rng, label, left_shape, right_shape, bs):
+        a = rng.random(left_shape)
+        b = rng.random(right_shape)
+        left = BlockedMatrix.from_numpy(a, bs)
+        right = BlockedMatrix.from_numpy(b, bs)
+        serial = left.matmul(right, workers=1).to_numpy()
+        parallel = left.matmul(right, workers=3).to_numpy()
+        assert np.array_equal(serial, parallel)
+        assert np.allclose(serial, a @ b)
+
+    def test_matmul_sparse_bitwise(self, rng):
+        a = sp.random(120, 80, density=0.05, format="csr", random_state=rng)
+        b = sp.random(80, 40, density=0.05, format="csr", random_state=rng)
+        left = BlockedMatrix.from_scipy(a, 32)
+        right = BlockedMatrix.from_scipy(b, 32)
+        serial = left.matmul(right, workers=1)
+        parallel = left.matmul(right, workers=3)
+        assert list(serial.blocks) == list(parallel.blocks)  # insertion order
+        assert np.array_equal(serial.to_numpy(), parallel.to_numpy())
+
+    def test_matmul_mixed_sparse_dense_bitwise(self, rng):
+        a = sp.random(100, 60, density=0.08, format="csr", random_state=rng)
+        b = rng.random((60, 50))
+        left = BlockedMatrix.from_scipy(a, 32)
+        right = BlockedMatrix.from_numpy(b, 32)
+        assert np.array_equal(left.matmul(right, workers=1).to_numpy(),
+                              left.matmul(right, workers=3).to_numpy())
+
+    @pytest.mark.parametrize("op", ["add", "subtract", "multiply"])
+    def test_ewise_ragged_bitwise(self, rng, op):
+        a = rng.random((100, 70))
+        b = rng.random((100, 70))
+        left = BlockedMatrix.from_numpy(a, 32)
+        right = BlockedMatrix.from_numpy(b, 32)
+        serial = getattr(left, op)(right, 1)
+        parallel = getattr(left, op)(right, 3)
+        assert list(serial.blocks) == list(parallel.blocks)
+        assert np.array_equal(serial.to_numpy(), parallel.to_numpy())
+
+    def test_divide_bitwise(self, rng):
+        a = rng.random((50, 50))
+        b = rng.random((50, 50)) + 0.5
+        left = BlockedMatrix.from_numpy(a, 16)
+        right = BlockedMatrix.from_numpy(b, 16)
+        assert np.array_equal(left.divide(right, 1).to_numpy(),
+                              left.divide(right, 3).to_numpy())
+
+    def test_transpose_and_map_cells_bitwise(self, rng):
+        a = rng.random((90, 33))
+        blocked = BlockedMatrix.from_numpy(a, 32)
+        assert np.array_equal(blocked.transpose(1).to_numpy(),
+                              blocked.transpose(3).to_numpy())
+        assert np.array_equal(
+            blocked.map_cells(np.exp, False, 1).to_numpy(),
+            blocked.map_cells(np.exp, False, 3).to_numpy())
+        assert np.array_equal(
+            blocked.map_cells(np.sqrt, True, 1).to_numpy(),
+            blocked.map_cells(np.sqrt, True, 3).to_numpy())
+
+    def test_add_scalar_bitwise(self, rng):
+        a = rng.random((70, 70))
+        blocked = BlockedMatrix.from_numpy(a, 32)
+        assert np.array_equal(blocked.add_scalar(1.5, 1).to_numpy(),
+                              blocked.add_scalar(1.5, 3).to_numpy())
+
+    def test_construction_bitwise(self, rng):
+        dense = rng.random((130, 67))
+        serial = BlockedMatrix.from_numpy(dense, 32, workers=1)
+        parallel = BlockedMatrix.from_numpy(dense, 32, workers=3)
+        assert list(serial.blocks) == list(parallel.blocks)
+        assert np.array_equal(serial.to_numpy(), parallel.to_numpy())
+
+        sparse_data = sp.random(210, 90, density=0.04, format="csr",
+                                random_state=rng)
+        serial = BlockedMatrix.from_scipy(sparse_data, 64, workers=1)
+        parallel = BlockedMatrix.from_scipy(sparse_data, 64, workers=3)
+        assert list(serial.blocks) == list(parallel.blocks)
+        assert np.array_equal(serial.to_numpy(), parallel.to_numpy())
+
+    def test_single_block_matrix_all_ops(self, rng):
+        a = rng.random((8, 8))
+        b = rng.random((8, 8)) + 0.5
+        left = BlockedMatrix.from_numpy(a, 64)
+        right = BlockedMatrix.from_numpy(b, 64)
+        for op in ("matmul", "add", "subtract", "multiply", "divide"):
+            assert np.array_equal(
+                getattr(left, op)(right, 1).to_numpy(),
+                getattr(left, op)(right, 3).to_numpy())
+
+
+class TestCliKernelWorkers:
+    def test_run_command_accepts_kernel_workers(self, capsys):
+        from repro.__main__ import main
+        code = main(["run", "--engine", "systemds*", "--algorithm", "gd",
+                     "--dataset", "cri1", "--scale", "0.2", "--iterations", "3",
+                     "--kernel-workers", "2"])
+        assert code == 0
+        assert "execution" in capsys.readouterr().out

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from scipy import sparse as sp
 
-from repro.errors import ShapeError
+from repro.errors import ExecutionError, ShapeError
 from repro.matrix import Block, BlockedMatrix, HashPartitioner, worker_of_block
 
 
@@ -133,6 +133,102 @@ class TestArithmetic:
         b = BlockedMatrix.from_numpy(rng.random((10, 9)), 8)
         with pytest.raises(ShapeError):
             a.add(b)
+
+    def test_divide_by_implicit_zero_block_raises(self, rng):
+        numerator = BlockedMatrix.from_numpy(rng.random((64, 64)) + 0.1, 32)
+        denominator_data = np.zeros((64, 64))
+        denominator_data[:32, :32] = rng.random((32, 32)) + 0.5
+        denominator = BlockedMatrix.from_numpy(denominator_data, 32)
+        with pytest.raises(ExecutionError, match="implicit zero block"):
+            numerator.divide(denominator)
+
+    def test_divide_tile_missing_on_both_sides_stays_zero(self, rng):
+        data = np.zeros((64, 64))
+        data[:32, :32] = rng.random((32, 32)) + 0.5
+        left = BlockedMatrix.from_numpy(data, 32)
+        right = BlockedMatrix.from_numpy(data, 32)
+        result = left.divide(right)
+        assert result.block_at(1, 1) is None  # 0 / 0 tile defined as zero
+        assert np.allclose(result.to_numpy()[:32, :32], np.ones((32, 32)))
+
+    def test_add_scalar_zero_returns_unaliased_copy(self, rng):
+        original = BlockedMatrix.from_numpy(rng.random((64, 64)), 32)
+        alias = original.add_scalar(0.0)
+        assert alias is not original
+        assert alias.blocks is not original.blocks
+        assert np.array_equal(alias.to_numpy(), original.to_numpy())
+        # Editing one grid must not leak into the other.
+        del alias.blocks[(0, 0)]
+        assert original.block_at(0, 0) is not None
+
+    def test_matmul_preserves_symmetry_of_symmetric_square(self, rng):
+        base = rng.random((40, 40))
+        blocked = BlockedMatrix.from_numpy(base + base.T, 16, symmetric=True)
+        product = blocked.matmul(blocked)
+        assert product.symmetric
+        assert product.meta().symmetric
+        other = BlockedMatrix.from_numpy(rng.random((40, 40)), 16)
+        assert not blocked.matmul(other).symmetric
+
+    def test_row_sums_and_diagonal_on_sparse_grid(self, rng):
+        data = np.zeros((96, 96))
+        data[:32, :32] = rng.random((32, 32))
+        data[64:, :32] = rng.random((32, 32))
+        blocked = BlockedMatrix.from_numpy(data, 32)
+        row_sums = blocked.row_sums()
+        assert np.allclose(row_sums.to_numpy(), data.sum(axis=1).reshape(-1, 1))
+        assert row_sums.block_at(1, 0) is None  # untouched row-band stays implicit
+        diag = blocked.diagonal()
+        assert np.allclose(diag.to_numpy(), np.diag(data).reshape(-1, 1))
+        assert diag.block_at(1, 0) is None
+        assert diag.block_at(2, 0) is None  # stored block, zero diagonal
+
+    def test_diagonal_of_sparse_payload_matches_dense(self, rng):
+        matrix = sp.random(80, 80, density=0.1, format="csr", random_state=rng)
+        blocked = BlockedMatrix.from_scipy(matrix, 32)
+        assert np.allclose(blocked.diagonal().to_numpy(),
+                           matrix.toarray().diagonal().reshape(-1, 1))
+
+    def test_col_sums_on_sparse_grid(self, rng):
+        matrix = sp.random(90, 120, density=0.03, format="csr", random_state=rng)
+        blocked = BlockedMatrix.from_scipy(matrix, 32)
+        assert np.allclose(blocked.col_sums().to_numpy(),
+                           np.asarray(matrix.sum(axis=0)).reshape(1, -1))
+
+
+class TestCachedStats:
+    def test_nnz_cached_after_first_read(self, sparse_matrix):
+        blocked = BlockedMatrix.from_scipy(sparse_matrix, 64)
+        assert blocked._nnz is None
+        assert blocked.nnz == sparse_matrix.nnz
+        assert blocked._nnz == sparse_matrix.nnz
+
+    def test_meta_and_bytes_cached_and_consistent(self, dense_matrix):
+        blocked = BlockedMatrix.from_numpy(dense_matrix, 64)
+        assert blocked.meta() is blocked.meta()
+        assert blocked.serialized_bytes() == sum(
+            b.serialized_bytes() for b in blocked.blocks.values())
+        assert blocked._bytes is not None
+
+    def test_invalidate_stats_recomputes(self, dense_matrix):
+        blocked = BlockedMatrix.from_numpy(dense_matrix, 64)
+        before = blocked.nnz
+        key, block = next(iter(blocked.blocks.items()))
+        del blocked.blocks[key]
+        blocked.invalidate_stats()
+        assert blocked.nnz == before - block.nnz
+
+    def test_symmetric_setter_refreshes_meta(self, rng):
+        blocked = BlockedMatrix.from_numpy(rng.random((20, 20)), 16)
+        assert not blocked.meta().symmetric
+        blocked.symmetric = True
+        assert blocked.meta().symmetric
+
+    def test_block_nnz_cached(self, rng):
+        block = Block(rng.random((32, 32)))
+        assert block._nnz is None
+        assert block.nnz == 32 * 32
+        assert block._nnz == 32 * 32
 
 
 class TestBlock:
