@@ -1,0 +1,158 @@
+"""Recovery overhead: simulated cost of faults and their recovery paths.
+
+Runs one workload fault-free, then under single-fault-class plans (worker
+crashes, transmission failures, a straggler window) and a combined seeded
+plan with and without checkpointing, reporting the simulated execution
+time each fault class adds. Before timing anything, every faulted run is
+checked for the hard invariant: its final result matrices must be
+bit-identical to the fault-free run — recovery may only cost simulated
+time, never change answers.
+
+Writes ``BENCH_recovery_overhead.json`` at the repo root with the
+simulated seconds, overhead ratios, and the fault/recovery counters of
+each scenario.
+
+Run standalone (no pytest-benchmark needed)::
+
+    PYTHONPATH=src python benchmarks/bench_recovery_overhead.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.algorithms import get_algorithm
+from repro.cluster.faults import CrashEvent, FaultPlan, StragglerEvent
+from repro.config import ClusterConfig
+from repro.data import load_dataset
+from repro.engines import make_engine
+from repro.runtime.recovery import RecoveryConfig
+
+RETRY_BUDGET = 100  # plenty for the modest rates below; runs must not abort
+
+
+def _workload(smoke: bool):
+    scale = 0.2 if smoke else 0.5
+    iterations = 4 if smoke else 10
+    dataset = load_dataset("cri2", scale=scale)
+    algo = get_algorithm("gd")
+    meta, data = algo.make_inputs(dataset.matrix)
+    return algo, meta, data, scale, iterations
+
+
+def _run(algo, meta, data, iterations, fault_plan=None, recovery_config=None):
+    engine = make_engine("remac", ClusterConfig())
+    return engine.run(algo.program(iterations), meta, data,
+                      symmetric=algo.symmetric_inputs, iterations=iterations,
+                      fault_plan=fault_plan, recovery_config=recovery_config)
+
+
+def _results(result) -> dict[str, np.ndarray]:
+    return {name: value.matrix.to_numpy()
+            for name, value in result.env.items()
+            if not name.startswith("__")}
+
+
+def _scenarios(horizon: float) -> list[tuple[str, FaultPlan, RecoveryConfig]]:
+    retries = RecoveryConfig(max_retries=RETRY_BUDGET)
+    return [
+        ("crashes", FaultPlan(crashes=(CrashEvent(0.3 * horizon, 1),
+                                       CrashEvent(0.7 * horizon, 4))),
+         retries),
+        ("transmission retries",
+         FaultPlan(transmission_failure_rates={"shuffle": 0.05,
+                                               "broadcast": 0.05,
+                                               "collect": 0.05,
+                                               "dfs": 0.05}, seed=3),
+         retries),
+        ("straggler window",
+         FaultPlan(stragglers=(StragglerEvent(2, start=0.0,
+                                              duration=0.5 * horizon,
+                                              factor=3.0),)),
+         retries),
+        ("seeded plan", FaultPlan.from_seed(17, horizon=horizon), retries),
+        ("seeded plan + checkpoints", FaultPlan.from_seed(17, horizon=horizon),
+         RecoveryConfig(max_retries=RETRY_BUDGET, checkpoint_every=2)),
+    ]
+
+
+def recovery_overhead(smoke: bool = False) -> list[dict]:
+    algo, meta, data, _scale, iterations = _workload(smoke)
+    baseline = _run(algo, meta, data, iterations)
+    base_results = _results(baseline)
+    base_exec = baseline.execution_seconds
+    rows = [{
+        "scenario": "fault-free baseline",
+        "simulated_exec_s": round(base_exec, 6),
+        "overhead_ratio": 1.0,
+        "crashes": 0, "failed_transmissions": 0, "straggler_hits": 0,
+        "recomputed_blocks": 0, "checkpoints": 0,
+    }]
+    for name, plan, recovery_config in _scenarios(base_exec):
+        result = _run(algo, meta, data, iterations, fault_plan=plan,
+                      recovery_config=recovery_config)
+        for var, expected in base_results.items():
+            observed = result.env[var].matrix.to_numpy()
+            assert np.array_equal(expected, observed), \
+                f"{name}: result {var!r} differs from the fault-free run"
+        faults = result.metrics.fault_summary
+        rows.append({
+            "scenario": name,
+            "simulated_exec_s": round(result.execution_seconds, 6),
+            "overhead_ratio": round(result.execution_seconds / base_exec, 3),
+            "crashes": int(faults["fault_worker_crashes"]),
+            "failed_transmissions": int(faults["fault_transmission_failures"]),
+            "straggler_hits": int(faults["fault_straggler_events"]),
+            "recomputed_blocks": int(faults["recovery_recomputed_blocks"]),
+            "checkpoints": int(faults["recovery_checkpoints"]),
+        })
+    return rows
+
+
+def _assert_acceptance(rows: list[dict]) -> None:
+    by_name = {row["scenario"]: row for row in rows}
+    for name in ("crashes", "transmission retries", "straggler window",
+                 "seeded plan"):
+        assert by_name[name]["overhead_ratio"] >= 1.0, \
+            f"{name}: recovery work must not make the run cheaper"
+    assert by_name["crashes"]["recomputed_blocks"] > 0
+    assert by_name["seeded plan + checkpoints"]["checkpoints"] > 0
+
+
+def _write_report(rows: list[dict], smoke: bool) -> None:
+    from repro.bench import save_report
+
+    save_report("recovery_overhead", rows,
+                title="Fault injection — simulated recovery overhead "
+                      "(results bit-identical to fault-free)")
+    out = Path(__file__).resolve().parents[1] / "BENCH_recovery_overhead.json"
+    out.write_text(json.dumps({"smoke": smoke, "rows": rows}, indent=2) + "\n")
+
+
+def test_recovery_overhead(benchmark, ctx):
+    rows = benchmark.pedantic(recovery_overhead, args=(False,),
+                              rounds=1, iterations=1)
+    _write_report(rows, smoke=False)
+    _assert_acceptance(rows)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="simulated overhead of fault recovery")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small workload: verify bit-identity and emit "
+                             "the report quickly")
+    args = parser.parse_args(argv)
+    rows = recovery_overhead(smoke=args.smoke)
+    _write_report(rows, smoke=args.smoke)
+    _assert_acceptance(rows)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

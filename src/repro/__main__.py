@@ -90,6 +90,22 @@ def _build_parser() -> argparse.ArgumentParser:
                           "impl, estimated vs observed nnz, and predicted "
                           "vs simulated cost, and a drift summary is "
                           "printed after the run")
+    run.add_argument("--fault-seed", type=int, default=None, metavar="SEED",
+                     help="inject a deterministic fault plan generated from "
+                          "SEED (worker crashes, straggler windows, "
+                          "transmission failures); the final results are "
+                          "bit-identical to the fault-free run, only "
+                          "simulated time and fault_*/recovery_* metrics "
+                          "differ")
+    run.add_argument("--fault-plan", default=None, metavar="PATH",
+                     help="load an explicit fault plan from a JSON file "
+                          "(see FaultPlan.dump); overrides --fault-seed")
+    run.add_argument("--max-retries", type=int, default=None, metavar="N",
+                     help="transmission retries before the run fails "
+                          "(default 3)")
+    run.add_argument("--checkpoint-every", type=int, default=None, metavar="K",
+                     help="snapshot loop-carried variables every K "
+                          "iterations and truncate lineage (0 = off)")
 
     optimize = sub.add_parser("optimize", help="compile a script, print plan")
     optimize.add_argument("script", help="path to a DML-like script file")
@@ -143,6 +159,22 @@ def _command_run(args) -> int:
     if args.trace is not None:
         from .runtime.trace import ExecutionTracer
         tracer = ExecutionTracer()
+    fault_plan = None
+    if args.fault_plan is not None:
+        from .cluster.faults import FaultPlan
+        fault_plan = FaultPlan.load(args.fault_plan)
+    elif args.fault_seed is not None:
+        from .cluster.faults import FaultPlan
+        fault_plan = FaultPlan.from_seed(args.fault_seed)
+    recovery_config = None
+    if args.max_retries is not None or args.checkpoint_every is not None:
+        from .runtime.recovery import RecoveryConfig
+        kwargs = {}
+        if args.max_retries is not None:
+            kwargs["max_retries"] = args.max_retries
+        if args.checkpoint_every is not None:
+            kwargs["checkpoint_every"] = args.checkpoint_every
+        recovery_config = RecoveryConfig(**kwargs)
     repeat = max(1, args.repeat)
     result = None
     for index in range(repeat):
@@ -150,7 +182,8 @@ def _command_run(args) -> int:
                             symmetric=algo.symmetric_inputs,
                             iterations=args.iterations,
                             charge_partition=args.charge_partition,
-                            tracer=tracer)
+                            tracer=tracer, fault_plan=fault_plan,
+                            recovery_config=recovery_config)
         if repeat > 1 and result.compiled is not None:
             outcome = result.notes.get("plan_cache", "off")
             print(f"run {index + 1}/{repeat}: compile "
@@ -189,6 +222,25 @@ def _command_run(args) -> int:
                   f"predicted {row['predicted_seconds']:.4f}s "
                   f"observed {row['observed_seconds']:.4f}s "
                   f"x{row['executions']}")
+    faults = result.metrics.fault_summary
+    if faults is not None:
+        print(f"{'faults':>15}: "
+              f"{int(faults.get('fault_worker_crashes', 0))} crashes, "
+              f"{int(faults.get('fault_transmission_failures', 0))} failed "
+              f"transmissions, "
+              f"{int(faults.get('fault_straggler_events', 0))} straggler hits "
+              f"({int(faults.get('recovery_active_workers', 0))} workers left)")
+        recovery_seconds = (faults.get("recovery_retry_seconds", 0.0)
+                            + faults.get("recovery_recompute_seconds", 0.0)
+                            + faults.get("recovery_source_reread_seconds", 0.0)
+                            + faults.get("recovery_repartition_seconds", 0.0)
+                            + faults.get("recovery_checkpoint_seconds", 0.0)
+                            + faults.get("fault_straggler_seconds", 0.0))
+        print(f"{'recovery':>15}: "
+              f"{int(faults.get('recovery_recomputed_blocks', 0))} blocks "
+              f"recomputed, "
+              f"{int(faults.get('recovery_checkpoints', 0))} checkpoints, "
+              f"{recovery_seconds:.4f} s (simulated) on recovery")
     return 0
 
 

@@ -1,5 +1,7 @@
-"""Simulated cluster: topology, transmission primitives, budgets, metrics."""
+"""Simulated cluster: topology, transmission primitives, budgets, metrics,
+and deterministic fault plans."""
 
+from .faults import CrashEvent, FaultInjector, FaultPlan, StragglerEvent
 from .memory import fits_locally, is_broadcastable, is_distributed, matrix_bytes
 from .metrics import (
     PHASE_COMPILATION,
@@ -28,4 +30,5 @@ __all__ = [
     "Network", "Transmission", "broadcast_volume", "transmission_seconds",
     "BROADCAST", "SHUFFLE", "COLLECT", "DFS",
     "Cluster", "Worker",
+    "FaultPlan", "FaultInjector", "CrashEvent", "StragglerEvent",
 ]

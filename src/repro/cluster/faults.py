@@ -1,0 +1,214 @@
+"""Deterministic fault plans for the simulated cluster.
+
+The paper's runtime substrate is Spark, whose execution story rests on
+lineage-based recomputation of lost partitions; a plan that looks cheapest
+under the cost model can be a disaster under real failure rates. This module
+provides the *fault side* of that story: a seeded, fully deterministic
+:class:`FaultPlan` describing worker crashes (at simulated-time points),
+straggler slowdown windows, and per-primitive transmission failure
+probabilities, plus the :class:`FaultInjector` that replays one plan against
+the simulated clock during execution.
+
+Determinism is the design center: the same plan (same seed) produces the
+same crash points, the same straggler windows, and the same sequence of
+transmission-failure coin flips, so two runs of the same program under the
+same plan are byte-identical in their traces and metrics. The *recovery*
+side — lineage recomputation, retries, checkpoints — lives in
+:mod:`repro.runtime.recovery`.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from .metrics import PRIMITIVES
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One worker crash: the worker slot ``worker`` dies at simulated time
+    ``time`` (seconds on the execution clock: computation + transmission +
+    input partition; compilation wall time is excluded so crash points stay
+    deterministic). The slot is taken modulo the number of workers still
+    alive when the crash fires."""
+
+    time: float
+    worker: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0.0:
+            raise ConfigError(f"crash time must be >= 0, got {self.time}")
+        if self.worker < 0:
+            raise ConfigError(f"crash worker must be >= 0, got {self.worker}")
+
+
+@dataclass(frozen=True)
+class StragglerEvent:
+    """One straggler window: ``worker`` runs ``factor``x slower during
+    ``[start, start + duration)`` on the simulated clock. Distributed
+    operators completing inside the window wait for the slow worker, so
+    their compute time is multiplied by ``factor``."""
+
+    worker: int
+    start: float
+    duration: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ConfigError(f"straggler worker must be >= 0, got {self.worker}")
+        if self.start < 0.0 or self.duration <= 0.0:
+            raise ConfigError(
+                f"straggler window must have start >= 0 and duration > 0, "
+                f"got start={self.start}, duration={self.duration}")
+        if self.factor < 1.0:
+            raise ConfigError(
+                f"straggler factor must be >= 1.0, got {self.factor}")
+
+    def active_at(self, clock: float) -> bool:
+        return self.start <= clock < self.start + self.duration
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of faults for one simulated execution.
+
+    ``transmission_failure_rates`` maps primitive name (broadcast / shuffle /
+    collect / dfs) to the probability that one invocation fails and must be
+    retried; the coin flips are drawn from a ``random.Random(seed)`` stream
+    in transmission order, so the failure pattern is a pure function of
+    ``(plan, program, inputs)``.
+    """
+
+    crashes: tuple[CrashEvent, ...] = ()
+    stragglers: tuple[StragglerEvent, ...] = ()
+    transmission_failure_rates: dict[str, float] = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for primitive, rate in self.transmission_failure_rates.items():
+            if primitive not in PRIMITIVES:
+                raise ConfigError(
+                    f"unknown transmission primitive {primitive!r} in fault "
+                    f"plan (expected one of {', '.join(PRIMITIVES)})")
+            if not 0.0 <= rate < 1.0:
+                raise ConfigError(
+                    f"failure rate for {primitive!r} must be in [0, 1), "
+                    f"got {rate}")
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (not self.crashes and not self.stragglers
+                and not any(self.transmission_failure_rates.values()))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_seed(cls, seed: int, horizon: float = 1.0) -> "FaultPlan":
+        """A randomized-but-deterministic plan: 1-2 crashes, one straggler
+        window, and small per-primitive failure rates, all inside
+        ``[0, horizon]`` simulated seconds. The same seed always produces
+        the same plan."""
+        rng = random.Random(seed)
+        crashes = tuple(
+            CrashEvent(time=rng.uniform(0.05, 0.9) * horizon,
+                       worker=rng.randrange(64))
+            for _ in range(rng.randint(1, 2)))
+        stragglers = (StragglerEvent(worker=rng.randrange(64),
+                                     start=rng.uniform(0.0, 0.5) * horizon,
+                                     duration=rng.uniform(0.2, 0.5) * horizon,
+                                     factor=rng.uniform(1.5, 4.0)),)
+        rates = {primitive: rng.uniform(0.0, 0.08) for primitive in PRIMITIVES}
+        return cls(crashes=crashes, stragglers=stragglers,
+                   transmission_failure_rates=rates, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Serialization (``--fault-plan PATH``)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "crashes": [{"time": c.time, "worker": c.worker}
+                        for c in self.crashes],
+            "stragglers": [{"worker": s.worker, "start": s.start,
+                            "duration": s.duration, "factor": s.factor}
+                           for s in self.stragglers],
+            "transmission_failure_rates": dict(self.transmission_failure_rates),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        try:
+            crashes = tuple(CrashEvent(time=float(c["time"]),
+                                       worker=int(c["worker"]))
+                            for c in payload.get("crashes", ()))
+            stragglers = tuple(
+                StragglerEvent(worker=int(s["worker"]),
+                               start=float(s["start"]),
+                               duration=float(s["duration"]),
+                               factor=float(s["factor"]))
+                for s in payload.get("stragglers", ()))
+            rates = {str(k): float(v) for k, v in
+                     payload.get("transmission_failure_rates", {}).items()}
+            seed = int(payload.get("seed", 0))
+        except (KeyError, TypeError, ValueError) as error:
+            raise ConfigError(f"malformed fault plan: {error}") from None
+        return cls(crashes=crashes, stragglers=stragglers,
+                   transmission_failure_rates=rates, seed=seed)
+
+    def dump(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+
+class FaultInjector:
+    """Replays one :class:`FaultPlan` against the simulated clock.
+
+    Stateful per execution: crash events fire once (in time order), and the
+    transmission-failure RNG stream advances one draw per queried
+    transmission. Build a fresh injector per run for reproducibility.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self._pending_crashes = sorted(plan.crashes, key=lambda c: c.time)
+        self._next_crash = 0
+
+    def due_crashes(self, clock: float) -> list[CrashEvent]:
+        """Pop every not-yet-fired crash with ``time <= clock``."""
+        due: list[CrashEvent] = []
+        while (self._next_crash < len(self._pending_crashes)
+               and self._pending_crashes[self._next_crash].time <= clock):
+            due.append(self._pending_crashes[self._next_crash])
+            self._next_crash += 1
+        return due
+
+    def straggler_factor(self, clock: float) -> float:
+        """The slowdown factor active at ``clock`` (max over open windows;
+        1.0 when none is active)."""
+        factor = 1.0
+        for event in self.plan.stragglers:
+            if event.active_at(clock) and event.factor > factor:
+                factor = event.factor
+        return factor
+
+    def transmission_fails(self, primitive: str) -> bool:
+        """Deterministic coin flip: does this transmission attempt fail?
+
+        Draws from the seeded stream even for zero-rate primitives so the
+        stream position — and therefore every later flip — depends only on
+        how many transmissions ran, not on which primitives they used.
+        """
+        rate = self.plan.transmission_failure_rates.get(primitive, 0.0)
+        return self._rng.random() < rate

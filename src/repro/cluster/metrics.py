@@ -34,6 +34,11 @@ class MetricsCollector:
     #: when the run was untraced — in which case :meth:`summary` is
     #: bit-identical to a collector that never heard of tracing.
     trace_summary: dict[str, float] | None = None
+    #: Additive ``fault_*``/``recovery_*`` aggregates from an installed
+    #: recovery manager (see :meth:`repro.runtime.recovery.RecoveryManager.
+    #: metrics_summary`), or None when the run had no fault injection — in
+    #: which case :meth:`summary` is bit-identical to the fault-free build.
+    fault_summary: dict[str, float] | None = None
 
     def charge_compute(self, seconds: float) -> None:
         self.seconds_by_phase[PHASE_COMPUTATION] += seconds
@@ -100,6 +105,14 @@ class MetricsCollector:
                     for key, value in source.trace_summary.items():
                         merged.trace_summary[key] = \
                             merged.trace_summary.get(key, 0.0) + value
+            if source.fault_summary is not None:
+                # Fault/recovery aggregates are additive sums as well.
+                if merged.fault_summary is None:
+                    merged.fault_summary = dict(source.fault_summary)
+                else:
+                    for key, value in source.fault_summary.items():
+                        merged.fault_summary[key] = \
+                            merged.fault_summary.get(key, 0.0) + value
         return merged
 
     def summary(self) -> dict[str, float]:
@@ -118,6 +131,8 @@ class MetricsCollector:
             observed = self.trace_summary.get("trace_observed_seconds", 0.0)
             drift = self.trace_summary.get("trace_abs_drift_seconds", 0.0)
             result["trace_drift_ratio"] = drift / observed if observed else 0.0
+        if self.fault_summary is not None:
+            result.update(self.fault_summary)
         return result
 
     def __repr__(self) -> str:

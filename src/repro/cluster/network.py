@@ -56,11 +56,21 @@ def broadcast_volume(config: ClusterConfig, operand_bytes: float) -> float:
 
 
 class Network:
-    """Prices transmissions against a config, optionally charging metrics."""
+    """Prices transmissions against a config, optionally charging metrics.
 
-    def __init__(self, config: ClusterConfig, metrics: MetricsCollector | None = None):
+    When a :class:`~repro.runtime.recovery.RecoveryManager` is installed,
+    every charged transmission is offered to its fault injector: failed
+    attempts are retried with exponential backoff, each retry re-charging
+    full time and bytes (see :meth:`RecoveryManager.after_transmission`).
+    With no manager installed this class is byte-for-byte the fault-free
+    pricing path.
+    """
+
+    def __init__(self, config: ClusterConfig, metrics: MetricsCollector | None = None,
+                 recovery=None):
         self.config = config
         self.metrics = metrics
+        self.recovery = recovery
 
     def transmit(self, primitive: str, nbytes: float) -> Transmission:
         """Account for one transmission and return its pricing."""
@@ -68,6 +78,8 @@ class Network:
         event = Transmission(primitive, nbytes, seconds)
         if self.metrics is not None and seconds > 0.0:
             self.metrics.charge_transmission(primitive, nbytes, seconds)
+            if self.recovery is not None:
+                self.recovery.after_transmission(primitive, nbytes, seconds)
         return event
 
     def broadcast(self, operand_bytes: float) -> Transmission:

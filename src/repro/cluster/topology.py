@@ -16,6 +16,11 @@ from ..matrix.blocked import BlockedMatrix
 from ..matrix.partitioner import worker_of_block
 
 
+#: Absolute float slack allowed when evicting: placed volumes are sums of
+#: block sizes, so an exact inverse can carry a few ulps of dust.
+_EVICT_TOLERANCE = 1e-6
+
+
 @dataclass
 class Worker:
     """A worker node hosting a set of blocks from distributed matrices."""
@@ -29,8 +34,22 @@ class Worker:
         self.hosted_blocks += 1
 
     def evict(self, nbytes: float) -> None:
+        """Remove one hosted block of ``nbytes``.
+
+        Evicting a volume that was never hosted used to clamp silently to
+        zero, desynchronizing ``hosted_bytes`` from ``hosted_blocks``; now
+        an unknown eviction raises so accounting drift is caught at the
+        call site.
+        """
+        if self.hosted_blocks < 1:
+            raise ValueError(
+                f"worker {self.worker_id}: evicting a block but none are hosted")
+        if nbytes > self.hosted_bytes + _EVICT_TOLERANCE:
+            raise ValueError(
+                f"worker {self.worker_id}: evicting {nbytes:.1f} bytes but "
+                f"only {self.hosted_bytes:.1f} are hosted")
         self.hosted_bytes = max(0.0, self.hosted_bytes - nbytes)
-        self.hosted_blocks = max(0, self.hosted_blocks - 1)
+        self.hosted_blocks -= 1
 
 
 @dataclass
@@ -58,11 +77,22 @@ class Cluster:
             placed[worker] += nbytes
         return placed
 
-    def release(self, matrix: BlockedMatrix) -> None:
-        """Remove a matrix's blocks from worker accounting."""
+    def unplace(self, matrix: BlockedMatrix) -> dict[int, float]:
+        """Inverse of :meth:`place`: evict a matrix's blocks from worker
+        accounting and return the bytes removed per worker. Raises
+        ``ValueError`` if any block was never hosted."""
+        removed: dict[int, float] = {w.worker_id: 0.0 for w in self.workers}
         for key, block in matrix.iter_blocks():
             worker = worker_of_block(*key, self.num_workers)
-            self.workers[worker].evict(block.serialized_bytes())
+            nbytes = block.serialized_bytes()
+            self.workers[worker].evict(nbytes)
+            removed[worker] += nbytes
+        return removed
+
+    def release(self, matrix: BlockedMatrix) -> None:
+        """Remove a matrix's blocks from worker accounting (see
+        :meth:`unplace`, which also reports the removed volumes)."""
+        self.unplace(matrix)
 
     def total_hosted_bytes(self) -> float:
         return sum(w.hosted_bytes for w in self.workers)

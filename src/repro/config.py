@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from .errors import ConfigError
 from .matrix.blocked import DEFAULT_BLOCK_SIZE
 
 #: Gigabit Ethernet payload rate, bytes/second.
@@ -47,6 +48,39 @@ class ClusterConfig:
     #: that many threads. Perf-only — results, simulated time, and metrics
     #: are bit-identical at any width (``--kernel-workers`` on the CLI).
     kernel_workers: int = 1
+
+    def __post_init__(self) -> None:
+        """Validate at construction: a bad knob raises :class:`ConfigError`
+        here instead of producing NaN or negative simulated times deep in
+        the cost model or runtime."""
+        if self.num_workers < 1:
+            raise ConfigError(f"num_workers must be >= 1, got {self.num_workers}")
+        if self.cores_per_worker < 1:
+            raise ConfigError(
+                f"cores_per_worker must be >= 1, got {self.cores_per_worker}")
+        if not self.flops_per_core > 0.0:
+            raise ConfigError(
+                f"flops_per_core must be positive, got {self.flops_per_core}")
+        for name in ("broadcast_bytes_per_sec", "shuffle_bytes_per_sec",
+                     "collect_bytes_per_sec", "dfs_bytes_per_sec"):
+            speed = getattr(self, name)
+            if not speed > 0.0:
+                raise ConfigError(f"{name} must be positive, got {speed}")
+        if self.primitive_latency_sec < 0.0:
+            raise ConfigError(
+                f"primitive_latency_sec must be >= 0, got {self.primitive_latency_sec}")
+        if not self.driver_memory_bytes >= 0.0:  # also rejects NaN
+            raise ConfigError(
+                f"driver_memory_bytes must be >= 0, got {self.driver_memory_bytes}")
+        if not self.broadcast_limit_bytes >= 0.0:
+            raise ConfigError(
+                f"broadcast_limit_bytes must be >= 0, got {self.broadcast_limit_bytes}")
+        if self.block_size < 1:
+            raise ConfigError(f"block_size must be >= 1, got {self.block_size}")
+        if self.kernel_workers < 0:
+            raise ConfigError(
+                f"kernel_workers must be >= 0 (0 = one thread per CPU), "
+                f"got {self.kernel_workers}")
 
     @property
     def cluster_flops(self) -> float:

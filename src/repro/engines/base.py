@@ -80,12 +80,16 @@ class Engine:
             symmetric: set[str] | frozenset[str] = frozenset(),
             iterations: int | None = None,
             charge_partition: bool = False,
-            tracer=None) -> RunResult:
+            tracer=None, fault_plan=None, recovery_config=None) -> RunResult:
         """Compile (per the engine's policy) and execute a program.
 
         ``tracer`` optionally installs an
         :class:`~repro.runtime.trace.ExecutionTracer` for the execution,
         recording per-operator spans with predicted-vs-observed costs.
+        ``fault_plan`` / ``recovery_config`` install the fault injector and
+        recovery layer (:mod:`repro.cluster.faults`,
+        :mod:`repro.runtime.recovery`) for the execution only — compilation
+        is never subject to faults.
         """
         compiled = None
         to_execute: Program | CompiledProgram = program
@@ -95,7 +99,9 @@ class Engine:
             compiled = self.compile(program, inputs, input_data, iterations)
             compile_wall = time.perf_counter() - started
             to_execute = compiled
-        executor = Executor(self.cluster, self.policy, tracer=tracer)
+        executor = Executor(self.cluster, self.policy, tracer=tracer,
+                            fault_plan=fault_plan,
+                            recovery_config=recovery_config)
         # Compilation happens on the driver in real time; fold the real wall
         # seconds plus any simulated statistics collection into the
         # simulated compilation phase so Fig. 12-style breakdowns add up.

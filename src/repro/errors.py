@@ -30,6 +30,15 @@ class ParseError(ReproError):
         self.column = column
 
 
+class ConfigError(ReproError):
+    """A configuration object is invalid (caught at construction).
+
+    Raised by :class:`~repro.config.ClusterConfig` validation and by fault
+    plan parsing, so a bad knob fails loudly up front instead of producing
+    NaN or negative simulated times downstream.
+    """
+
+
 class ShapeError(ReproError):
     """Operand shapes are incompatible for an operator."""
 
@@ -47,7 +56,33 @@ class OptimizerError(ReproError):
 
 
 class ExecutionError(ReproError):
-    """The simulated runtime failed while executing a physical plan."""
+    """The simulated runtime failed while executing a physical plan.
+
+    When the failure happens mid-program the executor annotates the error
+    with the statement it was running — ``statement_path`` uses the same
+    dotted-path notation the execution tracer records in its spans (e.g.
+    ``"2.1"``, or ``"2.cond"`` for a loop condition) and
+    ``statement_target`` names the variable being assigned — so failures
+    name the statement, not just the kernel.
+    """
+
+    #: Dotted statement path set by the executor (None outside a program).
+    statement_path: str | None = None
+    #: Assignment target of the failing statement (None for conditions).
+    statement_target: str | None = None
+
+    def annotate_statement(self, path: str, target: str | None) -> None:
+        """Attach the executing statement once (innermost wins)."""
+        if self.statement_path is not None:
+            return
+        self.statement_path = path
+        self.statement_target = target
+        where = f"at statement {path}" if path else "at statement <top>"
+        what = f", assigning {target!r}" if target else ", in loop condition"
+        if self.args:
+            self.args = (f"{self.args[0]} [{where}{what}]",) + self.args[1:]
+        else:  # pragma: no cover - errors always carry a message
+            self.args = (f"execution failed [{where}{what}]",)
 
 
 class MemoryBudgetError(ExecutionError):

@@ -15,6 +15,7 @@ from .hybrid import (
 )
 from .physical import Kernels, Value, placement_imbalance
 from .plan import CompiledProgram, PredictedOp
+from .recovery import RecoveryConfig, RecoveryManager
 from .trace import ExecutionTracer
 
 __all__ = [
@@ -24,5 +25,6 @@ __all__ = [
     "LOCAL", "BMM", "BMM_FLIPPED", "CPMM",
     "Kernels", "Value", "placement_imbalance",
     "CompiledProgram", "PredictedOp",
+    "RecoveryConfig", "RecoveryManager",
     "ExecutionTracer",
 ]

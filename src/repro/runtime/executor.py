@@ -36,6 +36,7 @@ from ..lang.program import Assign, Program, Statement, WhileLoop
 from .hybrid import ExecutionPolicy
 from .physical import Kernels, Value
 from .plan import CompiledProgram
+from .recovery import RecoveryConfig, RecoveryManager
 
 _COMPARISONS = {
     "<": lambda a, b: a < b,
@@ -59,9 +60,20 @@ class Executor:
     """Executes programs against a simulated cluster configuration."""
 
     def __init__(self, config: ClusterConfig, policy: ExecutionPolicy | None = None,
-                 metrics: MetricsCollector | None = None, tracer=None):
+                 metrics: MetricsCollector | None = None, tracer=None,
+                 fault_plan=None, recovery_config: RecoveryConfig | None = None):
         self.config = config
-        self.kernels = Kernels(config, policy, metrics, tracer=tracer)
+        metrics = metrics or MetricsCollector()
+        #: Optional :class:`~repro.runtime.recovery.RecoveryManager`; built
+        #: only when a fault plan or recovery config is supplied, so the
+        #: default path stays byte-identical to the fault-free build.
+        self.recovery: RecoveryManager | None = None
+        if fault_plan is not None or recovery_config is not None:
+            self.recovery = RecoveryManager(config, metrics, plan=fault_plan,
+                                            recovery_config=recovery_config,
+                                            tracer=tracer)
+        self.kernels = Kernels(config, policy, metrics, tracer=tracer,
+                               recovery=self.recovery)
         self.metrics = self.kernels.metrics
         #: Optional :class:`~repro.runtime.trace.ExecutionTracer`; when None
         #: (the default) no spans are allocated and execution is unchanged.
@@ -102,6 +114,8 @@ class Executor:
         self._run_block(program.statements, env, ())
         if tracer is not None:
             self.metrics.trace_summary = tracer.metrics_summary()
+        if self.recovery is not None:
+            self.metrics.fault_summary = self.recovery.metrics_summary()
         return env
 
     def _run_block(self, statements: list[Statement] | tuple[Statement, ...],
@@ -112,7 +126,11 @@ class Executor:
             if isinstance(stmt, Assign):
                 if tracer is not None:
                     tracer.begin_statement(stmt_path, stmt.target)
-                env[stmt.target] = self.evaluate(stmt.expr, env)
+                try:
+                    env[stmt.target] = self.evaluate(stmt.expr, env)
+                except ExecutionError as error:
+                    error.annotate_statement(_path_str(stmt_path), stmt.target)
+                    raise
                 if tracer is not None:
                     tracer.end_statement()
             elif isinstance(stmt, WhileLoop):
@@ -131,7 +149,11 @@ class Executor:
                 # Conditions are not priced by the cost model, so their
                 # operator spans never carry predictions.
                 tracer.begin_statement(path + ("cond",), None, kind="condition")
-            condition = self.evaluate(loop.condition, env)
+            try:
+                condition = self.evaluate(loop.condition, env)
+            except ExecutionError as error:
+                error.annotate_statement(_path_str(path + ("cond",)), None)
+                raise
             if tracer is not None:
                 tracer.end_statement()
             if not condition.is_scalar:
@@ -144,6 +166,10 @@ class Executor:
             if tracer is not None:
                 tracer.end_iteration()
             iterations += 1
+            recovery = self.recovery
+            if (recovery is not None and recovery.config.checkpoint_every > 0
+                    and iterations % recovery.config.checkpoint_every == 0):
+                recovery.checkpoint(env.values(), iterations, _path_str(path))
         self.loop_iterations.append(iterations)
         if tracer is not None:
             tracer.end_loop(iterations)
@@ -251,3 +277,8 @@ def _unwrap_transpose(expr: Expr) -> tuple[Expr, bool]:
     if isinstance(expr, Transpose):
         return expr.child, True
     return expr, False
+
+
+def _path_str(path: tuple) -> str:
+    """Dotted statement path, same notation the execution tracer records."""
+    return ".".join(str(part) for part in path)

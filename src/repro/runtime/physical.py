@@ -82,11 +82,20 @@ class Kernels:
     """Stateful kernel set bound to one cluster config, policy, and metrics."""
 
     def __init__(self, config: ClusterConfig, policy: ExecutionPolicy | None = None,
-                 metrics: MetricsCollector | None = None, tracer=None):
+                 metrics: MetricsCollector | None = None, tracer=None,
+                 recovery=None):
         self.config = config
         self.policy = policy or ExecutionPolicy.systemds()
         self.metrics = metrics or MetricsCollector()
-        self.network = Network(config, self.metrics)
+        #: Optional :class:`~repro.runtime.recovery.RecoveryManager`. When
+        #: installed, every distributed kernel output registers a lineage
+        #: thunk and every operator/transmission is offered to the fault
+        #: injector; when None (the default) no closure is ever allocated
+        #: and execution is byte-identical to the fault-free build.
+        self.recovery = recovery
+        self.network = Network(config, self.metrics, recovery=recovery)
+        if recovery is not None:
+            recovery.bind(self)
         #: Thread-pool width for block-level kernels (1 = serial seed
         #: behaviour). Perf-only: values, simulated time, and metrics are
         #: bit-identical at any width — see ``docs/architecture.md`` §10.
@@ -120,6 +129,21 @@ class Kernels:
             worker = worker_of_block(*key, self.config.num_workers)
             self.metrics.record_worker_bytes(worker, block.serialized_bytes())
 
+    def _finish_op(self, kind: str, price: OpPrice,
+                   result: BlockedMatrix | None = None,
+                   recompute=None) -> None:
+        """Recovery epilogue of one kernel: register the distributed
+        output's lineage thunk, then run the post-operator fault check
+        (stragglers, due worker crashes). Callers skip thunk construction
+        entirely when ``self.recovery`` is None."""
+        recovery = self.recovery
+        if recovery is None:
+            return
+        if recompute is not None and price.output_distributed:
+            recovery.record_derived(result, kind, price.compute_seconds,
+                                    recompute)
+        recovery.after_operator(price)
+
     # ------------------------------------------------------------------
     # Input loading
     # ------------------------------------------------------------------
@@ -148,6 +172,10 @@ class Kernels:
             self.metrics.charge_input_partition(seconds)
         if not distributed:
             return Value(matrix, False, 1.0, name)
+        if self.recovery is not None:
+            # Inputs are DFS-backed: lost blocks restore by re-reading the
+            # retained partitioned copy rather than by recomputation.
+            self.recovery.record_source(matrix)
         return self._wrap(matrix, True, name)
 
     def from_scalar(self, value: float) -> Value:
@@ -186,6 +214,9 @@ class Kernels:
         out = self._wrap(result, price.output_distributed)
         if self.tracer is not None:
             self.tracer.record_operator("matmul", price, (left_meta, right_meta), out)
+        if self.recovery is not None:
+            self._finish_op("matmul", price, result,
+                            lambda: left_mat.matmul(right_mat, workers=workers))
         return out
 
     def mmchain(self, x: Value, v: Value) -> Value:
@@ -205,6 +236,12 @@ class Kernels:
         out = self._wrap(result, price.output_distributed)
         if self.tracer is not None:
             self.tracer.record_operator("mmchain", price, (x.meta, v.meta), out)
+        if self.recovery is not None:
+            x_mat, v_mat = x.matrix, v.matrix
+            self._finish_op(
+                "mmchain", price, result,
+                lambda: x_mat.transpose(workers).matmul(
+                    x_mat.matmul(v_mat, workers=workers), workers=workers))
         return out
 
     def _coerce_mixed(self, left_mat: BlockedMatrix,
@@ -242,28 +279,35 @@ class Kernels:
         out = self._wrap(result, price.output_distributed)
         if self.tracer is not None:
             self.tracer.record_operator(kind, price, (left.meta, right.meta), out)
+        if self.recovery is not None:
+            left_mat, right_mat, workers = left.matrix, right.matrix, self.kernel_workers
+            self._finish_op(kind, price, result,
+                            lambda: getattr(left_mat, op_name)(right_mat, workers))
         return out
 
     def _scalar_ewise(self, scalar: float, value: Value, kind: str,
                       left_side: bool) -> Value:
         matrix = value.matrix
         workers = self.kernel_workers
-        if kind == "add":
-            result = matrix.add_scalar(scalar, workers)
-        elif kind == "subtract":
-            result = matrix.negate().add_scalar(scalar, workers) if left_side \
-                else matrix.add_scalar(-scalar, workers)
-        elif kind == "multiply":
-            result = matrix.scale(scalar)
-        elif kind == "divide":
-            if left_side:
-                raise ExecutionError("scalar / matrix is not supported; "
-                                     "zero cells would produce infinities")
-            if scalar == 0.0:
-                raise ExecutionError("division by a zero scalar")
-            result = matrix.scale(1.0 / scalar)
-        else:  # pragma: no cover - defensive
-            raise ExecutionError(f"unknown cell-wise op {kind!r}")
+
+        def compute() -> BlockedMatrix:
+            if kind == "add":
+                return matrix.add_scalar(scalar, workers)
+            if kind == "subtract":
+                return matrix.negate().add_scalar(scalar, workers) if left_side \
+                    else matrix.add_scalar(-scalar, workers)
+            if kind == "multiply":
+                return matrix.scale(scalar)
+            if kind == "divide":
+                if left_side:
+                    raise ExecutionError("scalar / matrix is not supported; "
+                                         "zero cells would produce infinities")
+                if scalar == 0.0:
+                    raise ExecutionError("division by a zero scalar")
+                return matrix.scale(1.0 / scalar)
+            raise ExecutionError(f"unknown cell-wise op {kind!r}")  # pragma: no cover
+
+        result = compute()
         price = price_ewise(kind, value.meta, MatrixMeta(1, 1), result.meta(),
                             self.config, self.policy, imbalance=value.imbalance)
         self._charge(price)
@@ -272,6 +316,8 @@ class Kernels:
             operands = (MatrixMeta(1, 1), value.meta) if left_side \
                 else (value.meta, MatrixMeta(1, 1))
             self.tracer.record_operator(kind, price, operands, out)
+        if self.recovery is not None:
+            self._finish_op(kind, price, result, compute)
         return out
 
     def add(self, left: Value, right: Value) -> Value:
@@ -299,6 +345,9 @@ class Kernels:
             # carries a prediction — "negate" deliberately matches no
             # recorded kind.
             self.tracer.record_operator("negate", price, (value.meta,), out)
+        if self.recovery is not None:
+            matrix = value.matrix
+            self._finish_op("negate", price, result, matrix.negate)
         return out
 
     # ------------------------------------------------------------------
@@ -312,6 +361,10 @@ class Kernels:
         out = self._wrap(result, price.output_distributed)
         if self.tracer is not None:
             self.tracer.record_operator("transpose", price, (value.meta,), out)
+        if self.recovery is not None:
+            matrix, workers = value.matrix, self.kernel_workers
+            self._finish_op("transpose", price, result,
+                            lambda: matrix.transpose(workers))
         return out
 
     def aggregate_sum(self, value: Value) -> Value:
@@ -320,6 +373,8 @@ class Kernels:
         out = self.from_scalar(value.matrix.sum())
         if self.tracer is not None:
             self.tracer.record_operator("aggregate", price, (value.meta,), out)
+        if self.recovery is not None:
+            self._finish_op("aggregate", price)
         return out
 
     def aggregate_norm(self, value: Value) -> Value:
@@ -332,6 +387,8 @@ class Kernels:
         out = self.from_scalar(float(np.sqrt(squared)))
         if self.tracer is not None:
             self.tracer.record_operator("aggregate", price, (value.meta,), out)
+        if self.recovery is not None:
+            self._finish_op("aggregate", price)
         return out
 
     def aggregate_trace(self, value: Value) -> Value:
@@ -342,6 +399,8 @@ class Kernels:
         out = self.from_scalar(float(np.trace(value.matrix.to_numpy())))
         if self.tracer is not None:
             self.tracer.record_operator("aggregate", price, (value.meta,), out)
+        if self.recovery is not None:
+            self._finish_op("aggregate", price)
         return out
 
     # ------------------------------------------------------------------
@@ -369,24 +428,34 @@ class Kernels:
         out = self._wrap(result, price.output_distributed)
         if self.tracer is not None:
             self.tracer.record_operator("map", price, (value.meta,), out)
+        if self.recovery is not None:
+            matrix, workers = value.matrix, self.kernel_workers
+            self._finish_op("map", price, result,
+                            lambda: matrix.map_cells(func, preserves_zero, workers))
         return out
+
+    _STRUCTURAL = {
+        "rowsums": "row_sums",
+        "colsums": "col_sums",
+        "diag": "diagonal",
+    }
 
     def structural(self, value: Value, kind: str) -> Value:
         """rowsums / colsums / diag."""
-        if kind == "rowsums":
-            result = value.matrix.row_sums()
-        elif kind == "colsums":
-            result = value.matrix.col_sums()
-        elif kind == "diag":
-            result = value.matrix.diagonal()
-        else:  # pragma: no cover - defensive
-            raise ExecutionError(f"unknown structural builtin {kind!r}")
+        try:
+            method = self._STRUCTURAL[kind]
+        except KeyError:  # pragma: no cover - defensive
+            raise ExecutionError(f"unknown structural builtin {kind!r}") from None
+        result = getattr(value.matrix, method)()
         price = price_structural(kind, value.meta, result.meta(), self.config,
                                  self.policy, value.imbalance)
         self._charge(price)
         out = self._wrap(result, price.output_distributed)
         if self.tracer is not None:
             self.tracer.record_operator("structural", price, (value.meta,), out)
+        if self.recovery is not None:
+            self._finish_op("structural", price, result,
+                            getattr(value.matrix, method))
         return out
 
     # ------------------------------------------------------------------
@@ -402,4 +471,6 @@ class Kernels:
         self._charge(price)
         if self.tracer is not None:
             self.tracer.record_operator("persist", price, (value.meta,), value)
+        if self.recovery is not None:
+            self._finish_op("persist", price)
         return value

@@ -84,6 +84,11 @@ class ExecutionTracer:
         self._predictions = predicted_ops
         self._num_workers = num_workers
 
+    def set_num_workers(self, num_workers: int) -> None:
+        """Track cluster shrinkage (a crashed worker) mid-run, so placement
+        views in later operator spans reflect the remaining workers."""
+        self._num_workers = num_workers
+
     def begin_statement(self, path: StatementPath, target: str | None,
                         kind: str = "statement") -> None:
         self._stmt_path = path
@@ -194,6 +199,21 @@ class ExecutionTracer:
             frame[2] += observed_seconds
             frame[3] += observed_seconds
         self._append_span(span)
+
+    # ------------------------------------------------------------------
+    # Fault / recovery events (called by the recovery manager)
+    # ------------------------------------------------------------------
+    def record_event(self, kind: str, **payload) -> None:
+        """Record one fault or recovery span (``crash`` / ``recovery`` /
+        ``retry`` / ``straggler`` / ``checkpoint``), stamped with the
+        current statement and loop context like operator spans."""
+        self._append_span({
+            "span": kind,
+            "statement": _path_str(self._stmt_path or ()),
+            "target": self._stmt_target,
+            **self._loop_context(),
+            **payload,  # explicit loop/iteration (e.g. checkpoints) wins
+        })
 
     def _placement(self, result: "Value") -> dict[str, float] | None:
         if not result.distributed or self._num_workers <= 1:

@@ -115,6 +115,37 @@ class TestTraceFlag:
         assert "drift" not in capsys.readouterr().out
 
 
+class TestFaultFlags:
+    def test_run_with_fault_seed(self, capsys):
+        code = main(["run", "--engine", "remac", "--algorithm", "gd",
+                     "--dataset", "cri1", "--iterations", "3",
+                     "--scale", "0.05", "--fault-seed", "17",
+                     "--max-retries", "100", "--checkpoint-every", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults" in out
+        assert "recovery" in out
+
+    def test_run_with_fault_plan_file(self, capsys, tmp_path):
+        from repro.cluster.faults import FaultPlan
+
+        path = tmp_path / "plan.json"
+        FaultPlan.from_seed(3, horizon=0.01).dump(str(path))
+        code = main(["run", "--engine", "remac", "--algorithm", "gd",
+                     "--dataset", "cri1", "--iterations", "3",
+                     "--scale", "0.05", "--fault-plan", str(path),
+                     "--max-retries", "100"])
+        assert code == 0
+        assert "faults" in capsys.readouterr().out
+
+    def test_run_without_fault_flags_prints_no_fault_line(self, capsys):
+        code = main(["run", "--engine", "remac", "--algorithm", "gd",
+                     "--dataset", "cri1", "--iterations", "2",
+                     "--scale", "0.05"])
+        assert code == 0
+        assert "faults" not in capsys.readouterr().out
+
+
 class TestPricingWorkersFlag:
     def _args(self, pricing_workers=None, no_plan_cache=False):
         import argparse

@@ -152,6 +152,110 @@ class TestTopology:
         assert sum(Cluster(cluster).balance()) == 0.0
 
 
+class TestClusterConfigValidation:
+    def test_defaults_valid(self):
+        ClusterConfig()
+
+    def test_bad_counts_rejected(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            ClusterConfig(num_workers=0)
+        with pytest.raises(ConfigError):
+            ClusterConfig(cores_per_worker=0)
+        with pytest.raises(ConfigError):
+            ClusterConfig(block_size=0)
+        with pytest.raises(ConfigError):
+            ClusterConfig(kernel_workers=-1)
+
+    def test_bad_speeds_rejected(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            ClusterConfig(flops_per_core=0.0)
+        with pytest.raises(ConfigError):
+            ClusterConfig(shuffle_bytes_per_sec=-1.0)
+        with pytest.raises(ConfigError):
+            ClusterConfig(dfs_bytes_per_sec=float("nan"))
+        with pytest.raises(ConfigError):
+            ClusterConfig(primitive_latency_sec=-0.1)
+
+    def test_bad_budgets_rejected(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            ClusterConfig(driver_memory_bytes=-1.0)
+        with pytest.raises(ConfigError):
+            ClusterConfig(broadcast_limit_bytes=float("nan"))
+
+
+class TestWorkerEviction:
+    def test_evict_without_hosting_raises(self):
+        from repro.cluster import Worker
+        with pytest.raises(ValueError, match="none are hosted"):
+            Worker(0).evict(100.0)
+
+    def test_evict_more_bytes_than_hosted_raises(self):
+        from repro.cluster import Worker
+        worker = Worker(0)
+        worker.host(100.0)
+        with pytest.raises(ValueError, match="only 100.0 are hosted"):
+            worker.evict(200.0)
+
+    def test_evict_clamps_float_dust(self):
+        from repro.cluster import Worker
+        worker = Worker(0)
+        worker.host(100.0)
+        worker.evict(100.0 + 1e-9)
+        assert worker.hosted_bytes == 0.0
+        assert worker.hosted_blocks == 0
+
+    def test_unplace_inverts_place(self, cluster, rng):
+        topo = Cluster(cluster)
+        matrix = BlockedMatrix.from_numpy(rng.random((640, 64)), 64)
+        placed = topo.place(matrix)
+        removed = topo.unplace(matrix)
+        assert removed == placed
+        assert topo.total_hosted_bytes() == pytest.approx(0.0)
+        assert all(w.hosted_blocks == 0 for w in topo.workers)
+
+    def test_unplace_unknown_matrix_raises(self, cluster, rng):
+        topo = Cluster(cluster)
+        matrix = BlockedMatrix.from_numpy(rng.random((640, 64)), 64)
+        with pytest.raises(ValueError):
+            topo.unplace(matrix)
+
+
+class TestFaultSummaryMerging:
+    def test_summary_includes_fault_aggregates(self):
+        metrics = MetricsCollector()
+        metrics.charge_compute(1.0)
+        metrics.fault_summary = {"fault_worker_crashes": 1.0,
+                                 "recovery_recomputed_blocks": 4.0}
+        summary = metrics.summary()
+        assert summary["fault_worker_crashes"] == 1.0
+        assert summary["recovery_recomputed_blocks"] == 4.0
+
+    def test_merged_with_adds_fault_summaries(self):
+        a, b = MetricsCollector(), MetricsCollector()
+        a.fault_summary = {"fault_worker_crashes": 1.0}
+        b.fault_summary = {"fault_worker_crashes": 2.0,
+                           "recovery_checkpoints": 1.0}
+        merged = a.merged_with(b)
+        assert merged.fault_summary == {"fault_worker_crashes": 3.0,
+                                        "recovery_checkpoints": 1.0}
+
+    def test_merged_with_one_sided_fault_summary(self):
+        a, b = MetricsCollector(), MetricsCollector()
+        a.fault_summary = {"fault_worker_crashes": 1.0}
+        merged = a.merged_with(b)
+        assert merged.fault_summary == a.fault_summary
+        assert merged.fault_summary is not a.fault_summary  # a copy
+
+    def test_unfaulted_summary_has_no_fault_keys(self):
+        metrics = MetricsCollector()
+        metrics.charge_compute(1.0)
+        assert not any(key.startswith(("fault_", "recovery_"))
+                       for key in metrics.summary())
+
+
 class TestMetricsReadPurity:
     def test_execution_seconds_read_does_not_insert_phases(self):
         """``seconds_by_phase`` is a defaultdict; the old ``[]`` read in
