@@ -83,6 +83,13 @@ def _build_parser() -> argparse.ArgumentParser:
                           "kernels (1 = serial, 0 = one thread per CPU; "
                           "default: serial); perf-only — results and "
                           "simulated times are bit-identical at any width")
+    run.add_argument("--no-fusion", action="store_true",
+                     help="disable cost-priced operator fusion (fused "
+                          "element-wise regions and cost-gated mmchain); "
+                          "fused and unfused runs produce bit-identical "
+                          "result matrices — only simulated time, "
+                          "transmission, and materialization metrics "
+                          "differ")
     run.add_argument("--trace", default=None, metavar="PATH",
                      help="record an operator-level execution trace and "
                           "write it to PATH as JSON, one span per line; "
@@ -155,6 +162,7 @@ def _command_run(args) -> int:
     algo = get_algorithm(args.algorithm)
     meta, data = algo.make_inputs(dataset.matrix)
     engine = make_engine(args.engine, cluster, **engine_kwargs)
+    engine.with_fusion(not args.no_fusion)
     tracer = None
     if args.trace is not None:
         from .runtime.trace import ExecutionTracer

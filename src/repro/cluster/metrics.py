@@ -29,6 +29,10 @@ class MetricsCollector:
     seconds_by_primitive: dict[str, float] = field(default_factory=lambda: defaultdict(float))
     bytes_by_worker: dict[int, float] = field(default_factory=lambda: defaultdict(float))
     operator_counts: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    #: Total serialized bytes of every kernel-materialized result matrix.
+    #: Operator fusion's second lever besides transmission: a fused region
+    #: materializes only its root, so this drops versus the unfused run.
+    bytes_materialized: float = 0.0
     #: Additive aggregates from an installed execution tracer (see
     #: :meth:`repro.runtime.trace.ExecutionTracer.metrics_summary`), or None
     #: when the run was untraced — in which case :meth:`summary` is
@@ -59,6 +63,9 @@ class MetricsCollector:
 
     def count_operator(self, name: str) -> None:
         self.operator_counts[name] += 1
+
+    def record_materialized(self, nbytes: float) -> None:
+        self.bytes_materialized += nbytes
 
     @property
     def total_seconds(self) -> float:
@@ -96,6 +103,7 @@ class MetricsCollector:
                 merged.bytes_by_worker[worker] += nbytes
             for name, count in source.operator_counts.items():
                 merged.operator_counts[name] += count
+            merged.bytes_materialized += source.bytes_materialized
             if source.trace_summary is not None:
                 # Trace aggregates are all additive sums, so merging is a
                 # key-wise addition.
@@ -126,6 +134,7 @@ class MetricsCollector:
         result["seconds_total"] = self.total_seconds
         for primitive in PRIMITIVES:
             result[f"bytes_{primitive}"] = self.bytes_by_primitive.get(primitive, 0.0)
+        result["bytes_materialized"] = self.bytes_materialized
         if self.trace_summary is not None:
             result.update(self.trace_summary)
             observed = self.trace_summary.get("trace_observed_seconds", 0.0)

@@ -142,9 +142,12 @@ def _fused_mmchain_cost(table: SpanTable, model: CostModel,
                         i: int, j: int) -> float | None:
     """Op cost of computing span [i, j] as t(X) %*% (X %*% [i+2, j]).
 
-    Applicable when the leading pair is an explicit Xᵀ, X twin and the
-    policy's mmchain column constraint admits X (SystemDS's fusion, which
-    the SPORES engine leans on — §6.2.2).
+    Applicable when the leading pair is an explicit Xᵀ, X twin and either
+    the policy's mmchain column constraint admits X (SystemDS's fusion,
+    which the SPORES engine leans on — §6.2.2) or the policy enables
+    cost-priced fusion, which drops the structural bound entirely: the DP
+    compares the fused price against the split alternatives, so an
+    unprofitable chain simply loses on cost.
     """
     if j < i + 2:
         return None
@@ -157,7 +160,8 @@ def _fused_mmchain_cost(table: SpanTable, model: CostModel,
     if first.base != second.base:
         return None
     x_meta = model.meta(table.sketches[(i + 1, i + 1)])
-    if not model.policy.mmchain_applicable_cols(x_meta.cols):
+    if not model.policy.fuse \
+            and not model.policy.mmchain_applicable_cols(x_meta.cols):
         return None
     from ..runtime.pricing import price_mmchain
     v_meta = model.meta(table.sketches[(i + 2, j)])

@@ -32,9 +32,14 @@ from ...lang.ast import (
     Transpose,
 )
 from ...lang.program import Assign, Program, Statement, WhileLoop
+from ...matrix import ops as flops
+from ...matrix.meta import MatrixMeta
+from ...runtime.fusion import Region, find_ewise_region, mmchain_beats_unfused
+from ...runtime.hybrid import LOCAL, value_distributed
 from ...runtime.plan import PredictedOp, StatementPath
+from ...runtime.pricing import price_fused_ewise
 from ..sparsity.base import Sketch
-from .model import CostModel
+from .model import CostModel, Priced
 
 
 @dataclass
@@ -154,6 +159,10 @@ class ProgramCostEvaluator:
             self._note("transpose", priced)
             return seconds + priced.seconds, priced.sketch
         if isinstance(expr, (Add, Sub, ElemMul, ElemDiv)):
+            if self.model.policy.fuse:
+                fused = self._try_price_fused_ewise(expr, env)
+                if fused is not None:
+                    return fused
             kind = {Add: "add", Sub: "subtract", ElemMul: "multiply",
                     ElemDiv: "divide"}[type(expr)]
             sec_l, left = self._price_expr(expr.left, env)
@@ -189,9 +198,30 @@ class ProgramCostEvaluator:
         self._note("matmul", priced)
         return sec_l + sec_r + priced.seconds, priced.sketch
 
+    def _try_price_fused_ewise(self, expr: Expr, env: dict[str, Sketch]
+                               ) -> tuple[float, Sketch] | None:
+        """Mirror the executor's cost-gated element-wise region fusion."""
+        region = find_ewise_region(expr)
+        if region is None:
+            return None
+        leaf_sketches: list[Sketch] = []
+        for leaf in region.leaves:
+            if isinstance(leaf, Literal):
+                leaf_sketches.append(self.model.scalar())
+            else:
+                sketch = env.get(leaf.name)
+                if sketch is None:
+                    return None  # normal path raises the canonical error
+                leaf_sketches.append(sketch)
+        estimate = price_fused_region(self.model, region, leaf_sketches)
+        if estimate is None or not estimate.fuses:
+            return None
+        self._note("fused_ewise", estimate.fused)
+        return estimate.fused.seconds, estimate.fused.sketch
+
     def _try_price_mmchain(self, expr: MatMul,
                            env: dict[str, Sketch]) -> tuple[float, Sketch] | None:
-        """Mirror the executor's mmchain fusion in the cost model."""
+        """Mirror the executor's mmchain fusion (legacy and cost-gated)."""
         if not isinstance(expr.left, Transpose):
             return None
         if not isinstance(expr.right, MatMul):
@@ -199,12 +229,28 @@ class ProgramCostEvaluator:
         if expr.left.child != expr.right.left:
             return None
         sec_x, x = self._price_expr(expr.left.child, env)
-        if not self.model.policy.mmchain_applicable_cols(self.model.meta(x).cols):
+        x_meta = self.model.meta(x)
+        if self.model.policy.mmchain_applicable_cols(x_meta.cols):
+            sec_v, v = self._price_expr(expr.right.right, env)
+            if self.model.meta(v).is_scalar_like or x_meta.is_scalar_like:
+                return None
+            priced = self.model.mmchain(x, v)
+            self._note("mmchain", priced)
+            return sec_x + sec_v + priced.seconds, priced.sketch
+        if not self.model.policy.fuse:
+            return None
+        if not isinstance(expr.left.child, (MatrixRef, ScalarRef)):
+            return None
+        if not isinstance(expr.right.right, (MatrixRef, ScalarRef, Literal)):
             return None
         sec_v, v = self._price_expr(expr.right.right, env)
-        if self.model.meta(v).is_scalar_like or self.model.meta(x).is_scalar_like:
+        v_meta = self.model.meta(v)
+        if v_meta.is_scalar_like or x_meta.is_scalar_like:
             return None
-        priced = self.model.mmchain(x, v)
+        if not mmchain_beats_unfused(x_meta, v_meta, 1.0, 1.0,
+                                     self.model.config, self.model.policy):
+            return None
+        priced = self.model.mmchain(x, v, exact_inner=True)
         self._note("mmchain", priced)
         return sec_x + sec_v + priced.seconds, priced.sketch
 
@@ -230,6 +276,86 @@ class ProgramCostEvaluator:
             return seconds + priced.seconds, priced.sketch
         # nrow/ncol and scalar math: metadata-only, free.
         return seconds, self.model.scalar()
+
+
+@dataclass
+class FusedRegionEstimate:
+    """The cost model's verdict on one fusable element-wise region."""
+
+    fused: Priced
+    unfused_seconds: float
+    member_count: int
+
+    @property
+    def fuses(self) -> bool:
+        """Strictly cheaper fused than unfused — same rule as the runtime."""
+        return self.fused.seconds < self.unfused_seconds
+
+
+def price_fused_region(model: CostModel, region: Region,
+                       leaf_sketches: list[Sketch]) -> FusedRegionEstimate | None:
+    """Price a fusable region both ways from estimator sketches.
+
+    Mirrors :func:`repro.runtime.fusion.plan_fused_ewise` on the model
+    side: member sketches propagate through the memoized estimator exactly
+    as the unfused operators would (fusion changes pricing, never
+    sketches), the unfused cost is the summed member prices, and the fused
+    cost is one :func:`~repro.runtime.pricing.price_fused_ewise` over the
+    summed member FLOPs. Regions with no distributed member return None —
+    local regions never fuse. Shared by the program cost evaluator and the
+    optimizer's fusion-region enumerator.
+    """
+    scalar_meta = MatrixMeta(1, 1)
+    # Per region node: (is_scalar, sketch).
+    results: list[tuple[bool, Sketch]] = []
+    unfused_seconds = 0.0
+    fused_flops = 0.0
+    member_count = 0
+    matrix_leaves: list[Sketch] = []
+    seen: set[int] = set()
+    any_distributed = False
+    for node in region.nodes:
+        if node.op == "leaf":
+            sketch = leaf_sketches[node.a]
+            is_scalar = model.meta(sketch).is_scalar_like
+            if not is_scalar and id(sketch) not in seen:
+                seen.add(id(sketch))
+                matrix_leaves.append(sketch)
+            results.append((is_scalar, sketch))
+            continue
+        if node.op == "neg":
+            is_scalar, sketch = results[node.a]
+            if is_scalar:
+                return None  # scalar subtree: seed path arithmetic
+            # The unfused model prices negation as free; the fused pass
+            # still touches the support once, like the negate kernel.
+            fused_flops += flops.ewise_mul_flops(model.meta(sketch), scalar_meta)
+            member_count += 1
+            results.append((False, sketch))
+            continue
+        left_scalar, left = results[node.a]
+        right_scalar, right = results[node.b]
+        if left_scalar and right_scalar:
+            return None  # scalar-scalar member: seed path
+        priced = model.ewise(node.op, left, right)
+        unfused_seconds += priced.seconds
+        fused_flops += flops.ewise_flops(node.op, model.meta(left),
+                                         model.meta(right))
+        member_count += 1
+        if priced.price.impl != LOCAL:
+            any_distributed = True
+        results.append((False, priced.sketch))
+    if not any_distributed or not matrix_leaves:
+        return None
+    broadcast_metas = [model.meta(sketch) for sketch in matrix_leaves
+                       if not value_distributed(model.meta(sketch),
+                                                model.config, model.policy)]
+    root_sketch = results[-1][1]
+    price = price_fused_ewise(fused_flops, broadcast_metas,
+                              model.meta(root_sketch), True,
+                              model.config, model.policy)
+    return FusedRegionEstimate(Priced(price, root_sketch), unfused_seconds,
+                               member_count)
 
 
 def _unwrap_transpose(expr: Expr) -> tuple[Expr, bool]:

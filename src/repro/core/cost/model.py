@@ -133,15 +133,23 @@ class CostModel:
                left_fused_transpose, right_fused_transpose)
         return self._memo(key, (left, right), compute)
 
-    def mmchain(self, x: Sketch, v: Sketch) -> Priced:
-        """Price the fused t(X) %*% (X %*% v) chain."""
+    def mmchain(self, x: Sketch, v: Sketch, exact_inner: bool = False) -> Priced:
+        """Price the fused t(X) %*% (X %*% v) chain.
+
+        ``exact_inner=True`` (the cost-gated fusion path) prices the
+        never-materialized intermediate with its estimated meta instead of
+        the legacy dense assumption, matching the runtime's observed-meta
+        charge on that path.
+        """
         def compute() -> Priced:
             inner = self.estimator.matmul(x, v)
             out = self.estimator.matmul(self.estimator.transpose(x), inner)
             price = price_mmchain(self.meta(x), self.meta(v), self.meta(out),
-                                  self.config, self.policy)
+                                  self.config, self.policy,
+                                  inner=self.meta(inner) if exact_inner else None)
             return Priced(price, out)
-        return self._memo(("mmchain", id(x), id(v)), (x, v), compute)
+        return self._memo(("mmchain", id(x), id(v), exact_inner), (x, v),
+                          compute)
 
     def ewise(self, kind: str, left: Sketch, right: Sketch) -> Priced:
         def compute() -> Priced:

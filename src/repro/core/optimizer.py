@@ -156,6 +156,10 @@ class ReMacOptimizer:
         cost = ProgramCostEvaluator(model).evaluate(rewritten, sketches,
                                                     iterations=chains.iterations,
                                                     record=predicted_ops)
+        fusion_notes = None
+        if self.policy.fuse:
+            from .enumerate import enumerate_fusion_regions
+            fusion_notes = enumerate_fusion_regions(rewritten, model, sketches)
         compile_seconds = time.perf_counter() - started
         return CompiledProgram(
             program=rewritten,
@@ -175,6 +179,7 @@ class ReMacOptimizer:
                 "strategy_notes": strategy.notes,
                 "cost_memo": model.memo_stats if self.config.cost_memo else None,
                 "pricing_workers": self.config.pricing_workers,
+                "fusion": fusion_notes,
                 **search_notes,
             })
 

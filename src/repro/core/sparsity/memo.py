@@ -127,6 +127,17 @@ class MemoizedEstimator(SparsityEstimator):
     def divide(self, left: Sketch, right: Sketch) -> Sketch:
         return self._binary("divide", self.inner.divide, left, right)
 
+    def ewise(self, kind: str, left: Sketch, right: Sketch) -> Sketch:
+        """Kind-dispatched cell-wise propagation (used by fused regions).
+
+        Routes through the memoized per-kind methods so a fused region's
+        sketch chain shares cache entries with the identical unfused
+        member propagations — fusion changes pricing, never sketches.
+        """
+        combine = {"add": self.add, "subtract": self.subtract,
+                   "multiply": self.multiply, "divide": self.divide}[kind]
+        return combine(left, right)
+
     def scalar_op(self, operand: Sketch, preserves_zero: bool) -> Sketch:
         return self._unary(
             "scalar_op",

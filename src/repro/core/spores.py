@@ -95,14 +95,22 @@ def _random_parenthesization_spans(rng: np.random.Generator,
     return spans
 
 
-def mmchain_applicable(site: ChainSite, metas: list, col_limit: int = 1000) -> bool:
+def mmchain_applicable(site: ChainSite, metas: list, col_limit: int = 1000,
+                       structural_bound: bool = True) -> bool:
     """Whether SystemDS's fused mmchain covers this chain.
 
     mmchain fuses exactly three-matrix chains and constrains the column
     count of the second matrix (1K by default); SPORES leans on it to
     execute chains efficiently, so chains that fail the test run in their
     original association order.
+
+    ``structural_bound=False`` lifts both restrictions for engines with
+    cost-priced fusion (:attr:`~repro.runtime.hybrid.ExecutionPolicy.fuse`):
+    any chain of three or more matrices is admitted and the cost model —
+    not a shape heuristic — decides whether the fused pass actually runs.
     """
+    if not structural_bound:
+        return len(site) >= 3
     if len(site) != 3:
         return False
     middle = metas[1]

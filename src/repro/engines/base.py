@@ -71,6 +71,23 @@ class Engine:
         warms over repeated compiles of the same workload)."""
         return self._optimizer
 
+    def with_fusion(self, fuse: bool) -> "Engine":
+        """Toggle cost-priced operator fusion on this engine, in place.
+
+        Replaces the execution policy with ``fuse`` set and rebuilds the
+        optimizer so compilation and execution agree on the flag (the plan
+        fingerprint includes the policy, so cached plans cannot leak
+        across the toggle). Returns ``self`` for chaining. The escape
+        hatch behind the CLI's ``--no-fusion``.
+        """
+        from dataclasses import replace as dc_replace
+        if self.policy.fuse == fuse:
+            return self
+        self.policy = dc_replace(self.policy, fuse=fuse)
+        self._optimizer = ReMacOptimizer(self.cluster, self.optimizer_config,
+                                         self.policy)
+        return self
+
     def compile(self, program: Program, inputs: Environment,
                 input_data: dict | None = None,
                 iterations: int | None = None) -> CompiledProgram:

@@ -87,7 +87,9 @@ class BlockedMatrix:
                     row.append(((bi, bj), Block(tile.copy()).normalized()))
             return row
 
-        for row in map_blocks(build_row, range(result.row_blocks), workers):
+        row_work = float(cols) * block_size  # cells scanned per row slab
+        for row in map_blocks(build_row, range(result.row_blocks), workers,
+                              work_hint=row_work):
             result.blocks.update(row)
         return result
 
@@ -112,7 +114,9 @@ class BlockedMatrix:
                     row.append(((bi, bj), Block(tile.tocsr()).normalized()))
             return row
 
-        for row in map_blocks(build_row, range(result.row_blocks), workers):
+        row_work = matrix.nnz / max(1, result.row_blocks)
+        for row in map_blocks(build_row, range(result.row_blocks), workers,
+                              work_hint=row_work):
             result.blocks.update(row)
         return result
 
@@ -248,7 +252,10 @@ class BlockedMatrix:
         result = BlockedMatrix(self.cols, self.rows, self.block_size,
                                symmetric=self.symmetric)
         entries = list(self.blocks.items())
-        result.blocks.update(map_blocks(_transposed_entry, entries, workers))
+        # Per-tile transpose is near-free (dense payloads transpose as
+        # views), so the pool never pays here — the hint keeps it serial.
+        result.blocks.update(map_blocks(_transposed_entry, entries, workers,
+                                        work_hint=float(len(entries))))
         return result
 
     def matmul(self, other: "BlockedMatrix",
@@ -278,7 +285,16 @@ class BlockedMatrix:
                 if pairs is None:
                     contributions[(bi, bj)] = pairs = []
                 pairs.append((left_block, right_block))
-        tiles = map_blocks(_tile_product, list(contributions.values()), workers)
+        # Estimated per-output-tile work: each contributing pair touches on
+        # the order of (left nnz) x (block width) cells. Cheap to compute —
+        # block nnz is cached — and it keeps micro-grids off the pool.
+        pair_work = 0.0
+        for pairs in contributions.values():
+            for left_block, _right_block in pairs:
+                pair_work += left_block.nnz
+        tile_work = self.block_size * pair_work / max(1, len(contributions))
+        tiles = map_blocks(_tile_product, list(contributions.values()), workers,
+                           work_hint=tile_work)
         for key, block in zip(contributions, tiles):
             if block is not None:
                 result.blocks[key] = block
@@ -325,7 +341,9 @@ class BlockedMatrix:
                 return None
             return block.normalized()
 
-        for key, block in zip(keys, map_blocks(combine, keys, workers)):
+        tile_work = (self.nnz + other.nnz) / max(1, len(keys))
+        for key, block in zip(keys, map_blocks(combine, keys, workers,
+                                               work_hint=tile_work)):
             if block is not None:
                 result.blocks[key] = block
         return result
@@ -375,7 +393,9 @@ class BlockedMatrix:
                 block = _zero_like(self, key)
             return block.add_scalar(scalar)
 
-        for key, block in zip(coords, map_blocks(shifted, coords, workers)):
+        tile_work = float(self.rows) * self.cols / max(1, len(coords))
+        for key, block in zip(coords, map_blocks(shifted, coords, workers,
+                                                 work_hint=tile_work)):
             result.blocks[key] = block
         return result
 
@@ -409,7 +429,9 @@ class BlockedMatrix:
                 return key, Block(func(block.data)).normalized()
 
             entries = list(self.blocks.items())
-            result.blocks.update(map_blocks(mapped, entries, workers))
+            tile_work = self.nnz / max(1, len(entries))
+            result.blocks.update(map_blocks(mapped, entries, workers,
+                                            work_hint=tile_work))
             return result
 
         def densified(key: tuple[int, int]):
@@ -420,7 +442,9 @@ class BlockedMatrix:
 
         coords = [(bi, bj) for bi in range(self.row_blocks)
                   for bj in range(self.col_blocks)]
-        result.blocks.update(map_blocks(densified, coords, workers))
+        tile_work = float(self.rows) * self.cols / max(1, len(coords))
+        result.blocks.update(map_blocks(densified, coords, workers,
+                                        work_hint=tile_work))
         return result
 
     def row_sums(self) -> "BlockedMatrix":

@@ -85,17 +85,34 @@ def _shared_pool(width: int) -> ThreadPoolExecutor:
     return pool
 
 
+#: Estimated cell touches *per tile task* below which dispatching to the
+#: thread pool costs more than it saves. Calibrated against
+#: BENCH_execution_throughput.json: the micro-workloads that regressed
+#: under the pool (dense transpose is O(1) view creation per tile,
+#: element-wise tiles are memory-bound microsecond tasks) sit below this,
+#: while the matmul tiles that benefit — millions of multiply-adds each —
+#: sit orders of magnitude above.
+PARALLEL_WORK_THRESHOLD = 262_144.0
+
+
 def map_blocks(fn: Callable[[Item], Result], items: Iterable[Item],
-               workers: int | None = None) -> list[Result]:
+               workers: int | None = None,
+               work_hint: float | None = None) -> list[Result]:
     """Map ``fn`` over independent tile tasks, preserving input order.
 
     Serial (a plain comprehension, no pool touched) when the effective
-    worker count is 1 or the batch is trivial. Exceptions propagate either
-    way.
+    worker count is 1, the batch is trivial, or the caller's ``work_hint``
+    (estimated cell touches per task) falls below
+    :data:`PARALLEL_WORK_THRESHOLD` — thread dispatch costs tens of
+    microseconds per task, so cheap tasks are faster serial no matter how
+    many cores the host has. Serial and pooled paths produce identical
+    results in identical order, so the gate is perf-only. Exceptions
+    propagate either way.
     """
     batch: Sequence[Item] = items if isinstance(items, (list, tuple)) \
         else list(items)
     width = resolve_kernel_workers(workers)
-    if width <= 1 or len(batch) <= 1:
+    if width <= 1 or len(batch) <= 1 \
+            or (work_hint is not None and work_hint < PARALLEL_WORK_THRESHOLD):
         return [fn(item) for item in batch]
     return list(_shared_pool(width).map(fn, batch))

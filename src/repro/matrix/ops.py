@@ -44,6 +44,18 @@ def ewise_div_flops(left: MatrixMeta, right: MatrixMeta) -> float:
     return left.nnz if not left.is_scalar_like else 1.0
 
 
+def ewise_flops(kind: str, left: MatrixMeta, right: MatrixMeta) -> float:
+    """Dispatch the cell-wise FLOP formula by operator kind.
+
+    A fused element-wise region touches exactly the cells its member
+    operators touch, so its FLOP count is the plain sum of these — fusion
+    saves materialization and transmission, never arithmetic.
+    """
+    fn = {"add": ewise_add_flops, "subtract": ewise_add_flops,
+          "multiply": ewise_mul_flops, "divide": ewise_div_flops}[kind]
+    return fn(left, right)
+
+
 def transpose_flops(meta: MatrixMeta) -> float:
     """FLOPs (really: cell touches) of a materialized transpose."""
     return meta.nnz

@@ -193,6 +193,11 @@ class Executor:
             if inner.is_scalar:
                 return inner
             return self.kernels.transpose(inner)
+        if isinstance(expr, (Add, Sub, ElemMul, ElemDiv)) \
+                and self.kernels.policy.fuse:
+            fused = self._try_fused_ewise(expr, env)
+            if fused is not None:
+                return fused
         if isinstance(expr, Add):
             return self.kernels.add(self.evaluate(expr.left, env),
                                     self.evaluate(expr.right, env))
@@ -227,8 +232,36 @@ class Executor:
         return self.kernels.matmul(left, right, left_transposed=left_fused,
                                    right_transposed=right_fused)
 
+    def _try_fused_ewise(self, expr: Expr, env: dict[str, Value]) -> Value | None:
+        """Fuse an element-wise region when the cost model prices it cheaper.
+
+        Region leaves are references/literals, so both the detection probe
+        and a declined fusion cost nothing: returning None falls through to
+        the untouched recursive path, whose re-evaluation of the leaves is
+        a free environment lookup — values, metrics, and trace on that path
+        are identical to a run with fusion disabled.
+        """
+        from .fusion import find_ewise_region, plan_fused_ewise
+        region = find_ewise_region(expr)
+        if region is None:
+            return None
+        leaf_values = [self.evaluate(leaf, env) for leaf in region.leaves]
+        plan = plan_fused_ewise(region, leaf_values, self.config,
+                                self.kernels.policy)
+        if plan is None or not plan.fuses:
+            return None
+        return self.kernels.fused_ewise(plan)
+
     def _try_mmchain(self, expr: MatMul, env: dict[str, Value]) -> Value | None:
-        """Fuse ``t(X) %*% (X %*% v)`` when the policy's mmchain allows it."""
+        """Fuse ``t(X) %*% (X %*% v)`` when the policy's mmchain allows it.
+
+        Two admission paths: the legacy structural column bound
+        (SystemDS-style, fuses unconditionally when it matches), and — with
+        ``policy.fuse`` — a cost-gated path open to any shape, taken only
+        when the fused pass prices below the two unfused multiplies. The
+        cost-gated path demands plain-reference operands so declining it
+        re-evaluates nothing.
+        """
         if not isinstance(expr.left, Transpose):
             return None
         if not isinstance(expr.right, MatMul):
@@ -236,12 +269,25 @@ class Executor:
         if expr.left.child != expr.right.left:
             return None
         x = self.evaluate(expr.left.child, env)
-        if not self.kernels.policy.mmchain_applicable_cols(x.meta.cols):
+        if self.kernels.policy.mmchain_applicable_cols(x.meta.cols):
+            v = self.evaluate(expr.right.right, env)
+            if v.is_scalar or x.is_scalar:
+                return None
+            return self.kernels.mmchain(x, v)
+        if not self.kernels.policy.fuse:
+            return None
+        if not isinstance(expr.left.child, (MatrixRef, ScalarRef)):
+            return None
+        if not isinstance(expr.right.right, (MatrixRef, ScalarRef, Literal)):
             return None
         v = self.evaluate(expr.right.right, env)
         if v.is_scalar or x.is_scalar:
             return None
-        return self.kernels.mmchain(x, v)
+        from .fusion import mmchain_beats_unfused
+        if not mmchain_beats_unfused(x.meta, v.meta, x.imbalance, v.imbalance,
+                                     self.config, self.kernels.policy):
+            return None
+        return self.kernels.mmchain(x, v, exact_inner=True)
 
     def _eval_compare(self, expr: Compare, env: dict[str, Value]) -> Value:
         left = self.evaluate(expr.left, env)

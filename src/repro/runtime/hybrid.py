@@ -46,6 +46,13 @@ class ExecutionPolicy:
     #: SPORES engine leans on this fusion ("as a remedy, SPORES depends on
     #: the fused mmchain operator").
     mmchain_col_limit: int | None = None
+    #: Enable cost-priced operator fusion: element-wise region fusion and
+    #: the unrestricted (cost-gated, not column-bound) mmchain pattern.
+    #: Unlike ``mmchain_col_limit`` — which fuses unconditionally whenever
+    #: the structural constraint holds — ``fuse`` admits fused candidates
+    #: only when the cost model prices them below their unfused members,
+    #: and the fused execution stays bit-identical to the unfused one.
+    fuse: bool = False
 
     @classmethod
     def systemds(cls) -> "ExecutionPolicy":

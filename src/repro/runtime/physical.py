@@ -118,6 +118,9 @@ class Kernels:
 
     def _wrap(self, matrix: BlockedMatrix, distributed: bool,
               name: str | None = None) -> Value:
+        # Every wrapped kernel output is a materialized matrix; the counter
+        # is what fusion shrinks (fused regions materialize only the root).
+        self.metrics.record_materialized(matrix.serialized_bytes())
         imbalance = 1.0
         if distributed:
             imbalance = placement_imbalance(matrix, self.config.num_workers)
@@ -219,19 +222,24 @@ class Kernels:
                             lambda: left_mat.matmul(right_mat, workers=workers))
         return out
 
-    def mmchain(self, x: Value, v: Value) -> Value:
+    def mmchain(self, x: Value, v: Value, exact_inner: bool = False) -> Value:
         """Fused ``t(X) %*% (X %*% v)`` (SystemDS's mmchain pattern).
 
         Computed in one distributed pass: the m-sized intermediate Xv stays
         worker-local. Callers must have checked
-        :meth:`ExecutionPolicy.mmchain_applicable_cols` first.
+        :meth:`ExecutionPolicy.mmchain_applicable_cols` first — or, on the
+        cost-gated fusion path, :func:`~repro.runtime.fusion.
+        mmchain_beats_unfused`; that path passes ``exact_inner=True`` so
+        the charge prices the never-materialized intermediate with its
+        observed meta instead of the legacy dense assumption.
         """
         from .pricing import price_mmchain
         workers = self.kernel_workers
         inner = x.matrix.matmul(v.matrix, workers=workers)
         result = x.matrix.transpose(workers).matmul(inner, workers=workers)
         price = price_mmchain(x.meta, v.meta, result.meta(), self.config,
-                              self.policy, imbalance=x.imbalance)
+                              self.policy, imbalance=x.imbalance,
+                              inner=inner.meta() if exact_inner else None)
         self._charge(price)
         out = self._wrap(result, price.output_distributed)
         if self.tracer is not None:
@@ -242,6 +250,35 @@ class Kernels:
                 "mmchain", price, result,
                 lambda: x_mat.transpose(workers).matmul(
                     x_mat.matmul(v_mat, workers=workers), workers=workers))
+        return out
+
+    def fused_ewise(self, plan) -> Value:
+        """Execute a priced :class:`~repro.runtime.fusion.FusedEwisePlan`.
+
+        One pass over the tile grid evaluates the whole region; no member
+        intermediate is ever assembled into a ``BlockedMatrix``. The single
+        pass reports every intermediate step's observed nnz, so the charge
+        re-prices the region from observed metadata like any other kernel.
+        The caller (the executor) has already established that the plan's
+        fused price beats its unfused member prices.
+        """
+        from ..matrix.fused import evaluate_fused_ewise
+        from .fusion import exact_fused_price
+        workers = self.kernel_workers
+        steps = plan.steps
+        leaves = [value.matrix for value in plan.leaf_values]
+        result, step_nnz = evaluate_fused_ewise(steps, leaves, workers)
+        price = exact_fused_price(plan, result.meta(), step_nnz, self.config,
+                                  self.policy)
+        self._charge(price)
+        out = self._wrap(result, price.output_distributed)
+        if self.tracer is not None:
+            operands = tuple(value.meta for value in plan.leaf_values)
+            self.tracer.record_operator("fused_ewise", price, operands, out)
+        if self.recovery is not None:
+            self._finish_op(
+                "fused_ewise", price, result,
+                lambda: evaluate_fused_ewise(steps, leaves, workers)[0])
         return out
 
     def _coerce_mixed(self, left_mat: BlockedMatrix,

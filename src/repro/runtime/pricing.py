@@ -116,15 +116,19 @@ def price_matmul(left: MatrixMeta, right: MatrixMeta, out: MatrixMeta,
 
 def price_mmchain(x: MatrixMeta, v: MatrixMeta, out: MatrixMeta,
                   config: ClusterConfig, policy: ExecutionPolicy,
-                  imbalance: float = 1.0) -> OpPrice:
+                  imbalance: float = 1.0,
+                  inner: MatrixMeta | None = None) -> OpPrice:
     """Price the fused ``t(X) %*% (X %*% v)`` chain (SystemDS's mmchain).
 
     One distributed pass over X: broadcast v, compute both multiplies
     block-locally, aggregate the n-sized partials at the driver — the
     m-sized intermediate ``Xv`` never travels, which is the fusion's whole
-    advantage over two back-to-back BMMs.
+    advantage over two back-to-back BMMs. ``inner`` overrides the dense
+    assumption for the never-materialized intermediate when the caller has
+    an observed (or sketched) meta for it.
     """
-    inner = MatrixMeta(x.rows, v.cols, 1.0)
+    if inner is None:
+        inner = MatrixMeta(x.rows, v.cols, 1.0)
     flop_count = flops.matmul_flops(x, v) + flops.matmul_flops(x.transposed(), inner)
     if not value_distributed(x, config, policy):
         return OpPrice("mmchain_local", _compute_seconds(flop_count, False, config),
@@ -161,6 +165,34 @@ def price_ewise(kind: str, left: MatrixMeta, right: MatrixMeta, out: MatrixMeta,
     if not out_distributed:
         transmissions.append((COLLECT, _size(out, policy)))
     return OpPrice("distributed", _compute_seconds(flop_count, True, config, imbalance),
+                   transmissions, out_distributed, config)
+
+
+def price_fused_ewise(flop_count: float, broadcast_metas: list[MatrixMeta],
+                      out: MatrixMeta, distributed: bool,
+                      config: ClusterConfig, policy: ExecutionPolicy,
+                      imbalance: float = 1.0) -> OpPrice:
+    """Price a single-pass fused element-wise region.
+
+    ``flop_count`` is the sum of the member operators' cell-touch FLOPs
+    (fusing does not change which cells are touched, it removes the
+    per-operator materialization and transmission). A distributed region
+    broadcasts each distinct local leaf once — instead of once per member
+    that consumes it — and collects only the root; the per-member
+    intermediate COLLECT/BROADCAST round-trips are the redundancy the
+    fused operator eliminates.
+    """
+    if not distributed:
+        return OpPrice("fused_ewise", _compute_seconds(flop_count, False, config),
+                       [], False, config)
+    transmissions: list[tuple[str, float]] = [
+        (BROADCAST, broadcast_volume(config, _size(meta, policy)))
+        for meta in broadcast_metas]
+    out_distributed = value_distributed(out, config, policy)
+    if not out_distributed:
+        transmissions.append((COLLECT, _size(out, policy)))
+    return OpPrice("fused_ewise",
+                   _compute_seconds(flop_count, True, config, imbalance),
                    transmissions, out_distributed, config)
 
 

@@ -307,10 +307,12 @@ class ExecutionTracer:
         derived ``trace_drift_ratio`` is recomputed from the sums at
         summary time.
         """
-        spans = matched = 0
+        spans = matched = fused = 0
         predicted_seconds = observed_seconds = abs_drift_seconds = 0.0
         for span in self.operator_spans():
             spans += 1
+            if span["op"] in ("fused_ewise", "mmchain"):
+                fused += 1
             seconds = span["observed"]["seconds"]
             observed_seconds += seconds
             predicted = span["predicted"]
@@ -321,6 +323,9 @@ class ExecutionTracer:
         return {
             "trace_operator_spans": float(spans),
             "trace_matched_spans": float(matched),
+            #: Spans executed by a fused operator (fused_ewise / mmchain);
+            #: each one replaced two or more unfused operator spans.
+            "trace_fused_spans": float(fused),
             "trace_predicted_seconds": predicted_seconds,
             "trace_observed_seconds": observed_seconds,
             "trace_abs_drift_seconds": abs_drift_seconds,

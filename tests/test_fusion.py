@@ -1,0 +1,249 @@
+"""Cost-priced operator fusion (docs/architecture.md §12).
+
+The standing invariant: fused and unfused runs of the same program produce
+bit-identical result matrices — fusion only changes simulated time,
+transmission volume, and materialized bytes. Fusion is a *pricing*
+decision, never a forced rewrite: a region fuses only when the fused price
+is strictly cheaper than the summed member prices, so purely-local
+programs and chains with no transmission savings run exactly as the
+unfused seed does, metric for metric.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.config import ClusterConfig, OptimizerConfig
+from repro.core.plancache import plan_fingerprint
+from repro.data import load_dataset
+from repro.engines import make_engine
+from repro.lang import parse_expression
+from repro.matrix.meta import MatrixMeta
+from repro.runtime import ExecutionPolicy, ExecutionTracer, Executor
+from repro.runtime.fusion import find_ewise_region, mmchain_beats_unfused
+
+#: systemds policy (mmchain_col_limit=None) with only the fuse flag set, so
+#: any mmchain span observed under it was admitted by cost, not by the
+#: legacy column-bound shape gate.
+FUSED = replace(ExecutionPolicy.systemds(), fuse=True)
+UNFUSED = ExecutionPolicy.systemds()
+
+
+def _evaluate(cluster, policy, source, bindings):
+    executor = Executor(cluster, policy)
+    env = {name: executor.kernels.load(name, value)
+           for name, value in bindings.items()}
+    out = executor.evaluate(parse_expression(source), env)
+    return out, executor.metrics
+
+
+def _env_digest(result) -> str:
+    digest = hashlib.sha256()
+    for name in sorted(result.env):
+        digest.update(name.encode())
+        digest.update(result.env[name].matrix.to_numpy().tobytes())
+    return digest.hexdigest()
+
+
+def _run_program(fuse: bool, algorithm="gd", dataset="cri2", iterations=5,
+                 tracer=None):
+    data = load_dataset(dataset, scale=0.3)
+    algo = get_algorithm(algorithm)
+    meta, inputs = algo.make_inputs(data.matrix)
+    engine = make_engine("remac", ClusterConfig()).with_fusion(fuse)
+    return engine.run(algo.program(iterations), meta, inputs,
+                      symmetric=algo.symmetric_inputs, iterations=iterations,
+                      tracer=tracer)
+
+
+@pytest.fixture(scope="module")
+def gd_runs():
+    return _run_program(True), _run_program(False)
+
+
+def _comparable_summary(metrics) -> dict:
+    """summary() minus the real-wall compilation phase (not simulated)."""
+    summary = metrics.summary()
+    summary.pop("seconds_compilation", None)
+    summary["seconds_total"] = sum(
+        v for k, v in metrics.seconds_by_phase.items() if k != "compilation")
+    return summary
+
+
+class TestWholeProgramBitIdentity:
+    def test_results_bit_identical(self, gd_runs):
+        fused, unfused = gd_runs
+        assert _env_digest(fused) == _env_digest(unfused)
+
+    def test_fusion_actually_engaged(self, gd_runs):
+        fused, unfused = gd_runs
+        assert fused.metrics.operator_counts.get("mmchain", 0) > 0
+        assert unfused.metrics.operator_counts.get("mmchain", 0) == 0
+
+    def test_fusion_reduces_transmission_and_materialization(self, gd_runs):
+        fused, unfused = gd_runs
+        s_on, s_off = fused.metrics.summary(), unfused.metrics.summary()
+        assert s_on["bytes_materialized"] < s_off["bytes_materialized"]
+        assert s_on["bytes_broadcast"] < s_off["bytes_broadcast"]
+        assert s_on["bytes_collect"] < s_off["bytes_collect"]
+
+    def test_compile_notes_carry_fusion_report(self, gd_runs):
+        fused, unfused = gd_runs
+        report = fused.notes["fusion"]
+        assert report["regions_found"] >= report["regions_selected"] >= 1
+        assert report["predicted_fused_seconds"] < \
+            report["predicted_unfused_seconds"]
+        for region in report["regions"]:
+            assert region["kind"] in ("ewise", "mmchain")
+            assert region["members"] >= 2
+        assert unfused.notes["fusion"] is None
+
+
+class TestEwiseRegionFusion:
+    """A distributed dense leaf zipped with a small local leaf: unfused,
+    the local side broadcasts once per member; fused, once per region."""
+
+    @pytest.fixture()
+    def operands(self, rng):
+        dense = rng.random((400, 400))  # 1.28 MB -> distributed
+        sparse = rng.random((400, 400)) * (rng.random((400, 400)) < 0.02)
+        return {"A": dense, "S": sparse}
+
+    @pytest.mark.parametrize("source", [
+        "(A + S) * S",
+        "A * S + S * A - S",
+        "2.0 * (A + S) - S",
+    ])
+    def test_bit_identity_and_savings(self, operands, source):
+        config = ClusterConfig()
+        fused, m_on = _evaluate(config, FUSED, source, operands)
+        unfused, m_off = _evaluate(config, UNFUSED, source, operands)
+        assert np.array_equal(fused.matrix.to_numpy(),
+                              unfused.matrix.to_numpy())
+        assert m_on.operator_counts.get("fused_ewise", 0) == 1
+        s_on, s_off = m_on.summary(), m_off.summary()
+        assert s_on["seconds_total"] < s_off["seconds_total"]
+        assert s_on["bytes_materialized"] < s_off["bytes_materialized"]
+        assert s_on["bytes_broadcast"] < s_off["bytes_broadcast"]
+
+    def test_region_detection_requires_two_members(self):
+        # A lone zip is one member: nothing to fuse.
+        assert find_ewise_region(parse_expression("A + B")) is None
+        assert find_ewise_region(parse_expression("A + B - C")) is not None
+        assert find_ewise_region(parse_expression("A %*% B")) is None
+        # A matmul leaf breaks the region (leaves must be free references).
+        assert find_ewise_region(parse_expression("A + B %*% C")) is None
+
+
+class TestMmchainByCost:
+    def test_selected_by_cost_not_by_shape_gate(self, rng):
+        """FUSED has mmchain_col_limit=None: the legacy gate can never fire,
+        so the observed mmchain span was admitted by pricing alone."""
+        assert FUSED.mmchain_col_limit is None
+        tall = rng.random((20_000, 100))
+        v = rng.random((100, 1))
+        config = ClusterConfig()
+        fused, m_on = _evaluate(config, FUSED, "t(X) %*% (X %*% v)",
+                                {"X": tall, "v": v})
+        unfused, m_off = _evaluate(config, UNFUSED, "t(X) %*% (X %*% v)",
+                                   {"X": tall, "v": v})
+        assert np.array_equal(fused.matrix.to_numpy(),
+                              unfused.matrix.to_numpy())
+        assert m_on.operator_counts.get("mmchain", 0) == 1
+        assert m_off.operator_counts.get("mmchain", 0) == 0
+        assert m_on.summary()["seconds_total"] < \
+            m_off.summary()["seconds_total"]
+
+    def test_wide_second_matrix_admitted_when_it_wins(self, rng):
+        """The legacy 512-column bound is gone: a 900-column right-hand side
+        still fuses when the cost model prices the single pass cheaper."""
+        tall = rng.random((20_000, 100))
+        wide = rng.random((100, 900))
+        config = ClusterConfig()
+        fused, m_on = _evaluate(config, FUSED, "t(X) %*% (X %*% W)",
+                                {"X": tall, "W": wide})
+        unfused, m_off = _evaluate(config, UNFUSED, "t(X) %*% (X %*% W)",
+                                   {"X": tall, "W": wide})
+        assert np.array_equal(fused.matrix.to_numpy(),
+                              unfused.matrix.to_numpy())
+        assert m_on.operator_counts.get("mmchain", 0) == 1
+        assert m_on.summary()["seconds_total"] < \
+            m_off.summary()["seconds_total"]
+
+
+class TestFusionLosesWhenCostSaysSo:
+    def test_local_chain_runs_exactly_as_unfused(self, rng):
+        """A purely-local pipeline never fuses (strict-< on equal compute
+        would be an FP coin flip); every metric matches the seed path."""
+        small = {"A": rng.random((40, 40)), "S": rng.random((40, 40))}
+        config = ClusterConfig()
+        fused, m_on = _evaluate(config, FUSED, "(A + S) * S - A", small)
+        unfused, m_off = _evaluate(config, UNFUSED, "(A + S) * S - A", small)
+        assert np.array_equal(fused.matrix.to_numpy(),
+                              unfused.matrix.to_numpy())
+        assert m_on.operator_counts.get("fused_ewise", 0) == 0
+        assert m_on.summary() == m_off.summary()
+
+    def test_all_distributed_chain_declines(self, rng):
+        """Every leaf distributed: the fused pass saves no transmission, so
+        the strict price comparison declines and metrics stay identical."""
+        big = {name: rng.random((400, 400)) for name in ("A", "B", "C")}
+        config = ClusterConfig()
+        fused, m_on = _evaluate(config, FUSED, "(A + B) * C", big)
+        unfused, m_off = _evaluate(config, UNFUSED, "(A + B) * C", big)
+        assert np.array_equal(fused.matrix.to_numpy(),
+                              unfused.matrix.to_numpy())
+        assert m_on.operator_counts.get("fused_ewise", 0) == 0
+        assert m_on.summary() == m_off.summary()
+
+    def test_local_mmchain_declines(self):
+        config = ClusterConfig()
+        x = MatrixMeta(100, 20, 1.0)  # 16 KB: local
+        v = MatrixMeta(20, 1, 1.0)
+        assert not mmchain_beats_unfused(x, v, 1.0, 1.0, config, FUSED)
+
+    def test_distributed_mmchain_wins(self):
+        config = ClusterConfig()
+        x = MatrixMeta(50_000, 100, 1.0)
+        v = MatrixMeta(100, 1, 1.0)
+        assert mmchain_beats_unfused(x, v, 1.0, 1.0, config, FUSED)
+
+
+class TestPlanCacheFingerprint:
+    def test_fuse_flag_changes_fingerprint(self, dfp_like_inputs):
+        algo = get_algorithm("gd")
+        program = algo.program(3)
+        config = OptimizerConfig()
+        cluster = ClusterConfig()
+        on = plan_fingerprint(program, dfp_like_inputs, config, cluster,
+                              FUSED, iterations=3)
+        off = plan_fingerprint(program, dfp_like_inputs, config, cluster,
+                               UNFUSED, iterations=3)
+        assert on != off
+
+    def test_engine_toggle_rebuilds_optimizer(self):
+        engine = make_engine("remac", ClusterConfig())
+        before = engine.optimizer
+        assert engine.with_fusion(False) is engine  # already off: no-op
+        assert engine.optimizer is before
+        engine.with_fusion(True)
+        assert engine.optimizer is not before
+        assert engine.policy.fuse
+
+
+class TestTraceCoverage:
+    def test_fused_spans_surface_in_summary(self):
+        tracer = ExecutionTracer()
+        fused = _run_program(True, tracer=tracer)
+        summary = fused.metrics.summary()
+        assert summary["trace_fused_spans"] > 0
+        fused_spans = [span for span in tracer.operator_spans()
+                       if span["op"] in ("fused_ewise", "mmchain")]
+        assert len(fused_spans) == int(summary["trace_fused_spans"])
+        for span in fused_spans:
+            assert span["observed"]["seconds"] >= 0.0
