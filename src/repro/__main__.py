@@ -113,6 +113,17 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--checkpoint-every", type=int, default=None, metavar="K",
                      help="snapshot loop-carried variables every K "
                           "iterations and truncate lineage (0 = off)")
+    run.add_argument("--replan-drift-threshold", type=float, default=None,
+                     metavar="R",
+                     help="recompile the remaining program mid-run when an "
+                          "operator site's cumulative |predicted - observed| "
+                          "exceeds R times its observed seconds; the final "
+                          "matrices stay bit-identical, only simulated time "
+                          "and replan_* metrics change")
+    run.add_argument("--replan-on-shrink", action="store_true",
+                     help="after a crash shrinks the cluster, re-price the "
+                          "remaining program for the surviving workers and "
+                          "adopt the new plan when it is value-equivalent")
 
     optimize = sub.add_parser("optimize", help="compile a script, print plan")
     optimize.add_argument("script", help="path to a DML-like script file")
@@ -183,6 +194,11 @@ def _command_run(args) -> int:
         if args.checkpoint_every is not None:
             kwargs["checkpoint_every"] = args.checkpoint_every
         recovery_config = RecoveryConfig(**kwargs)
+    replan = None
+    if args.replan_drift_threshold is not None or args.replan_on_shrink:
+        from .runtime.replan import ReplanConfig
+        replan = ReplanConfig(drift_threshold=args.replan_drift_threshold,
+                              on_shrink=args.replan_on_shrink)
     repeat = max(1, args.repeat)
     result = None
     for index in range(repeat):
@@ -191,7 +207,8 @@ def _command_run(args) -> int:
                             iterations=args.iterations,
                             charge_partition=args.charge_partition,
                             tracer=tracer, fault_plan=fault_plan,
-                            recovery_config=recovery_config)
+                            recovery_config=recovery_config,
+                            replan=replan)
         if repeat > 1 and result.compiled is not None:
             outcome = result.notes.get("plan_cache", "off")
             print(f"run {index + 1}/{repeat}: compile "
@@ -249,6 +266,15 @@ def _command_run(args) -> int:
               f"recomputed, "
               f"{int(faults.get('recovery_checkpoints', 0))} checkpoints, "
               f"{recovery_seconds:.4f} s (simulated) on recovery")
+    replans = result.metrics.replan_summary
+    if replans is not None:
+        print(f"{'replanning':>15}: "
+              f"{int(replans.get('replan_triggers', 0))} triggers, "
+              f"{int(replans.get('replan_adopted', 0))} adopted, "
+              f"{int(replans.get('replan_rejected', 0))} rejected "
+              f"(generation {int(replans.get('replan_generation', 0))}, "
+              f"{replans.get('replan_compile_seconds', 0.0):.4f} s "
+              f"recompiling)")
     return 0
 
 

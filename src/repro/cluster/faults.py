@@ -87,6 +87,11 @@ class FaultPlan:
     stragglers: tuple[StragglerEvent, ...] = ()
     transmission_failure_rates: dict[str, float] = field(default_factory=dict)
     seed: int = 0
+    #: Ceiling on the effective straggler slowdown: however large a
+    #: window's ``factor`` (or the max over overlapping windows), the
+    #: injector never slows an operator by more than this. Keeps a typo'd
+    #: hand-written plan (factor=1000) from dominating every metric.
+    max_straggler_factor: float = 16.0
 
     def __post_init__(self) -> None:
         for primitive, rate in self.transmission_failure_rates.items():
@@ -98,6 +103,10 @@ class FaultPlan:
                 raise ConfigError(
                     f"failure rate for {primitive!r} must be in [0, 1), "
                     f"got {rate}")
+        if not self.max_straggler_factor >= 1.0:  # also rejects NaN
+            raise ConfigError(
+                f"max_straggler_factor must be >= 1.0, "
+                f"got {self.max_straggler_factor}")
 
     @property
     def empty(self) -> bool:
@@ -139,11 +148,34 @@ class FaultPlan:
                            for s in self.stragglers],
             "transmission_failure_rates": dict(self.transmission_failure_rates),
             "seed": self.seed,
+            "max_straggler_factor": self.max_straggler_factor,
         }
+
+    #: Recognized keys, for :meth:`from_dict` strictness: a hand-written
+    #: plan with a typo'd key ("crashs", "factr") must fail loudly instead
+    #: of silently injecting nothing.
+    _TOP_LEVEL_KEYS = frozenset({"crashes", "stragglers",
+                                 "transmission_failure_rates", "seed",
+                                 "max_straggler_factor"})
+    _CRASH_KEYS = frozenset({"time", "worker"})
+    _STRAGGLER_KEYS = frozenset({"worker", "start", "duration", "factor"})
+
+    @staticmethod
+    def _check_keys(payload: dict, allowed: frozenset, what: str) -> None:
+        unknown = sorted(set(payload) - allowed)
+        if unknown:
+            raise ConfigError(
+                f"unknown {what} key(s) {', '.join(map(repr, unknown))} "
+                f"(expected a subset of {', '.join(sorted(allowed))})")
 
     @classmethod
     def from_dict(cls, payload: dict) -> "FaultPlan":
         try:
+            cls._check_keys(payload, cls._TOP_LEVEL_KEYS, "fault plan")
+            for entry in payload.get("crashes", ()):
+                cls._check_keys(entry, cls._CRASH_KEYS, "crash")
+            for entry in payload.get("stragglers", ()):
+                cls._check_keys(entry, cls._STRAGGLER_KEYS, "straggler")
             crashes = tuple(CrashEvent(time=float(c["time"]),
                                        worker=int(c["worker"]))
                             for c in payload.get("crashes", ()))
@@ -156,10 +188,14 @@ class FaultPlan:
             rates = {str(k): float(v) for k, v in
                      payload.get("transmission_failure_rates", {}).items()}
             seed = int(payload.get("seed", 0))
+            max_factor = float(payload.get("max_straggler_factor", 16.0))
+        except ConfigError:
+            raise
         except (KeyError, TypeError, ValueError) as error:
             raise ConfigError(f"malformed fault plan: {error}") from None
         return cls(crashes=crashes, stragglers=stragglers,
-                   transmission_failure_rates=rates, seed=seed)
+                   transmission_failure_rates=rates, seed=seed,
+                   max_straggler_factor=max_factor)
 
     def dump(self, path: str) -> None:
         with open(path, "w") as handle:
@@ -167,8 +203,22 @@ class FaultPlan:
 
     @classmethod
     def load(cls, path: str) -> "FaultPlan":
+        """Load a plan from a JSON file; malformed JSON or a malformed plan
+        raises :class:`~repro.errors.ConfigError` naming the path and why."""
         with open(path) as handle:
-            return cls.from_dict(json.load(handle))
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as error:
+                raise ConfigError(
+                    f"fault plan {path!r} is not valid JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                f"fault plan {path!r} must be a JSON object, "
+                f"got {type(payload).__name__}")
+        try:
+            return cls.from_dict(payload)
+        except ConfigError as error:
+            raise ConfigError(f"fault plan {path!r}: {error}") from None
 
 
 class FaultInjector:
@@ -195,13 +245,14 @@ class FaultInjector:
         return due
 
     def straggler_factor(self, clock: float) -> float:
-        """The slowdown factor active at ``clock`` (max over open windows;
-        1.0 when none is active)."""
+        """The slowdown factor active at ``clock`` (max over open windows,
+        capped at the plan's ``max_straggler_factor``; 1.0 when none is
+        active)."""
         factor = 1.0
         for event in self.plan.stragglers:
             if event.active_at(clock) and event.factor > factor:
                 factor = event.factor
-        return factor
+        return min(factor, self.plan.max_straggler_factor)
 
     def transmission_fails(self, primitive: str) -> bool:
         """Deterministic coin flip: does this transmission attempt fail?

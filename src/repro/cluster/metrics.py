@@ -43,6 +43,11 @@ class MetricsCollector:
     #: metrics_summary`), or None when the run had no fault injection — in
     #: which case :meth:`summary` is bit-identical to the fault-free build.
     fault_summary: dict[str, float] | None = None
+    #: Additive ``replan_*`` aggregates from an installed replanner (see
+    #: :meth:`repro.runtime.replan.Replanner.metrics_summary`), or None when
+    #: the run had no adaptive replanning — in which case :meth:`summary` is
+    #: bit-identical to the replanning-unaware build.
+    replan_summary: dict[str, float] | None = None
 
     def charge_compute(self, seconds: float) -> None:
         self.seconds_by_phase[PHASE_COMPUTATION] += seconds
@@ -121,6 +126,14 @@ class MetricsCollector:
                     for key, value in source.fault_summary.items():
                         merged.fault_summary[key] = \
                             merged.fault_summary.get(key, 0.0) + value
+            if source.replan_summary is not None:
+                # Replanning aggregates are additive counters/sums too.
+                if merged.replan_summary is None:
+                    merged.replan_summary = dict(source.replan_summary)
+                else:
+                    for key, value in source.replan_summary.items():
+                        merged.replan_summary[key] = \
+                            merged.replan_summary.get(key, 0.0) + value
         return merged
 
     def summary(self) -> dict[str, float]:
@@ -142,6 +155,8 @@ class MetricsCollector:
             result["trace_drift_ratio"] = drift / observed if observed else 0.0
         if self.fault_summary is not None:
             result.update(self.fault_summary)
+        if self.replan_summary is not None:
+            result.update(self.replan_summary)
         return result
 
     def __repr__(self) -> str:

@@ -108,6 +108,11 @@ class ReMacOptimizer:
         """The full optimization pipeline (no plan-cache shortcut)."""
         check_program(program, inputs)  # fail fast on shape errors
         estimator = make_estimator(self.config.estimator)
+        if self.config.calibration is not None:
+            # Calibrated re-entry (mid-run replanning): observed product
+            # metas override the estimator's propagations where they match.
+            from .sparsity.calibrate import CalibratedEstimator
+            estimator = CalibratedEstimator(estimator, self.config.calibration)
         model = CostModel(self.cluster, estimator, self.policy,
                           memoize=self.config.cost_memo)
         sketches = sketch_inputs(model, inputs, input_data)
@@ -141,8 +146,9 @@ class ReMacOptimizer:
                 rejected = [o for o in options if o.option_id not in chosen_ids]
             if not strategy.chosen and round_index > 0:
                 break
-            rewritten = rewrite_program(chains, strategy.chosen, model, sketches,
-                                        temp_prefix=f"tREMAC{round_index}_")
+            rewritten = rewrite_program(
+                chains, strategy.chosen, model, sketches,
+                temp_prefix=f"{self.config.temp_prefix}{round_index}_")
             applied.extend(strategy.chosen)
             if not strategy.chosen:
                 break

@@ -16,10 +16,14 @@ on:
   not share a plan — tokens are per-object, handed out by a registry that
   survives as long as the cache);
 * the semantic fields of :class:`~repro.config.OptimizerConfig` (estimator,
-  strategy, search, combiner, budgets — the performance-only knobs like
-  worker counts are excluded so they never fragment the cache);
+  strategy, search, combiner, budgets, and — for mid-run replanning — the
+  ``calibration`` state and ``temp_prefix``; the performance-only knobs
+  like worker counts are excluded so they never fragment the cache);
 * the full :class:`~repro.config.ClusterConfig` and
-  :class:`~repro.runtime.hybrid.ExecutionPolicy` (pricing inputs);
+  :class:`~repro.runtime.hybrid.ExecutionPolicy` (pricing inputs) — the
+  worker count is part of the cluster text, so a replan priced for a
+  post-crash shrunken cluster keys separately from the original plan while
+  repeated replans against the same shrunken topology hit;
 * the compile-time iteration budget.
 
 Anything that could change the chosen plan or its predicted cost changes

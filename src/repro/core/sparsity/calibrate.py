@@ -1,0 +1,178 @@
+"""Observation-calibrated sparsity estimation (the replan feedback loop).
+
+The paper's adaptive selection (Fig. 9) re-picks operators when observed
+statistics diverge from estimates. On this substrate the observations come
+from the execution tracer: every operator span records the *actual*
+``MatrixMeta`` of its operands and output. :class:`CalibrationState`
+distills those spans into a lookup table keyed by (operator, operand
+metas); :class:`CalibratedEstimator` wraps any concrete estimator and, when
+a propagation step matches an observed product exactly, replaces the
+estimate with the observation.
+
+The wrapper is compositional: it corrects only the *output metadata* of a
+matched step (via the inner estimator's own ``sketch_meta``), so MNC keeps
+its structural sketches, the metadata estimator keeps plain metas, and
+unmatched propagations are untouched. A :class:`~repro.core.sparsity.memo.
+MemoizedEstimator` can wrap a calibrated estimator exactly like any other.
+
+Calibration is part of a plan's identity: :class:`~repro.config.
+OptimizerConfig` carries the state in its ``calibration`` field, which
+enters the plan-cache fingerprint through the config text, so a replan
+compiled under observations can never collide with the original plan (and
+two replans under the same observations share a cache entry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...matrix.meta import MatrixMeta
+from .base import Sketch, SparsityEstimator
+
+#: Operand nnz values are rounded to this many decimals when forming keys,
+#: so float noise in density bookkeeping cannot miss an exact match.
+_NNZ_DECIMALS = 3
+
+#: (rows, cols, rounded nnz) of one operand or output.
+MetaKey = tuple[int, int, float]
+
+
+def _meta_key(meta: MatrixMeta) -> MetaKey:
+    return (meta.rows, meta.cols, round(meta.nnz, _NNZ_DECIMALS))
+
+
+@dataclass(frozen=True)
+class CalibrationState:
+    """Observed operator outputs, keyed by operator kind and operand metas.
+
+    ``entries`` is a sorted tuple of ``(key, (rows, cols, nnz))`` pairs
+    where ``key = (op, left_meta_key, right_meta_key)``; being a frozen
+    value object with a deterministic repr, the state is hashable and
+    fingerprint-stable (the plan cache reprs it verbatim).
+    """
+
+    entries: tuple[tuple[tuple, tuple[int, int, float]], ...] = ()
+
+    def __post_init__(self) -> None:
+        # Normalize ordering so equal observation sets compare (and
+        # fingerprint) equal regardless of construction order.
+        object.__setattr__(self, "entries", tuple(sorted(self.entries)))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def lookup(self, op: str, left: MatrixMeta,
+               right: MatrixMeta) -> MatrixMeta | None:
+        """The observed output meta of ``op(left, right)``, if recorded."""
+        table = self._table()
+        observed = table.get((op, _meta_key(left), _meta_key(right)))
+        if observed is None:
+            return None
+        rows, cols, nnz = observed
+        area = rows * cols
+        return MatrixMeta(rows, cols, nnz / area if area else 0.0)
+
+    def _table(self) -> dict:
+        # Built lazily and cached outside the frozen fields (pure function
+        # of ``entries``, so mutation-after-construction is not a hazard).
+        table = self.__dict__.get("_lookup_table")
+        if table is None:
+            table = dict(self.entries)
+            self.__dict__["_lookup_table"] = table
+        return table
+
+    @classmethod
+    def from_spans(cls, spans: list[dict]) -> "CalibrationState":
+        """Build a state from execution-tracer spans.
+
+        Binary ``matmul`` operator spans carry the effective operand metas
+        the kernel priced and the actual output meta; later observations of
+        the same (operator, operands) key win, so a drifting site converges
+        to its most recent truth.
+        """
+        table: dict[tuple, tuple[int, int, float]] = {}
+        for span in spans:
+            if span.get("span") != "operator" or span.get("op") != "matmul":
+                continue
+            operands = span.get("operands") or ()
+            out = span.get("out")
+            if len(operands) != 2 or out is None:
+                continue
+            key = ("matmul",
+                   (operands[0]["rows"], operands[0]["cols"],
+                    round(operands[0]["nnz"], _NNZ_DECIMALS)),
+                   (operands[1]["rows"], operands[1]["cols"],
+                    round(operands[1]["nnz"], _NNZ_DECIMALS)))
+            table[key] = (out["rows"], out["cols"],
+                          round(out["nnz"], _NNZ_DECIMALS))
+        return cls(entries=tuple(table.items()))
+
+
+class CalibratedEstimator(SparsityEstimator):
+    """Wrap an estimator, overriding outputs the calibration observed.
+
+    Only ``matmul`` is corrected — products are where the uniform-collision
+    assumption misleads the cost model (§4.2); unary and cell-wise
+    propagations keep the inner estimator's behaviour byte-for-byte.
+    """
+
+    def __init__(self, inner: SparsityEstimator, calibration: CalibrationState):
+        if isinstance(inner, CalibratedEstimator):  # never stack two layers
+            inner = inner.inner
+        self.inner = inner
+        self.calibration = calibration
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"{self.inner.name}+calibrated"
+
+    @property
+    def stats_collection_flops(self) -> float:  # type: ignore[override]
+        return self.inner.stats_collection_flops
+
+    # ------------------------------------------------------------------
+    # Sketch construction / readout: pure delegation
+    # ------------------------------------------------------------------
+    def sketch_data(self, data, symmetric: bool = False) -> Sketch:
+        return self.inner.sketch_data(data, symmetric=symmetric)
+
+    def sketch_meta(self, meta: MatrixMeta) -> Sketch:
+        return self.inner.sketch_meta(meta)
+
+    def scalar(self) -> Sketch:
+        return self.inner.scalar()
+
+    def meta(self, sketch: Sketch) -> MatrixMeta:
+        return self.inner.meta(sketch)
+
+    # ------------------------------------------------------------------
+    # Operator propagation
+    # ------------------------------------------------------------------
+    def matmul(self, left: Sketch, right: Sketch) -> Sketch:
+        estimated = self.inner.matmul(left, right)
+        observed = self.calibration.lookup(
+            "matmul", self.inner.meta(left), self.inner.meta(right))
+        if observed is None:
+            return estimated
+        out_meta = self.inner.meta(estimated)
+        if (out_meta.rows, out_meta.cols) != (observed.rows, observed.cols):
+            return estimated  # shape disagreement: trust the estimator
+        return self.inner.sketch_meta(observed)
+
+    def transpose(self, operand: Sketch) -> Sketch:
+        return self.inner.transpose(operand)
+
+    def add(self, left: Sketch, right: Sketch) -> Sketch:
+        return self.inner.add(left, right)
+
+    def subtract(self, left: Sketch, right: Sketch) -> Sketch:
+        return self.inner.subtract(left, right)
+
+    def multiply(self, left: Sketch, right: Sketch) -> Sketch:
+        return self.inner.multiply(left, right)
+
+    def divide(self, left: Sketch, right: Sketch) -> Sketch:
+        return self.inner.divide(left, right)
+
+    def scalar_op(self, operand: Sketch, preserves_zero: bool) -> Sketch:
+        return self.inner.scalar_op(operand, preserves_zero=preserves_zero)

@@ -97,7 +97,8 @@ class Engine:
             symmetric: set[str] | frozenset[str] = frozenset(),
             iterations: int | None = None,
             charge_partition: bool = False,
-            tracer=None, fault_plan=None, recovery_config=None) -> RunResult:
+            tracer=None, fault_plan=None, recovery_config=None,
+            replan=None) -> RunResult:
         """Compile (per the engine's policy) and execute a program.
 
         ``tracer`` optionally installs an
@@ -106,8 +107,19 @@ class Engine:
         ``fault_plan`` / ``recovery_config`` install the fault injector and
         recovery layer (:mod:`repro.cluster.faults`,
         :mod:`repro.runtime.recovery`) for the execution only — compilation
-        is never subject to faults.
+        is never subject to faults. ``replan`` (a :class:`~repro.runtime.
+        replan.ReplanConfig`) arms mid-run adaptive replanning; it needs a
+        tracer for observations, so an enabled config auto-installs one
+        when none was passed.
         """
+        replanner = None
+        if replan is not None and getattr(replan, "enabled", False) \
+                and self.optimize:
+            if tracer is None:
+                from ..runtime.trace import ExecutionTracer
+                tracer = ExecutionTracer()
+            from ..runtime.replan import Replanner
+            replanner = Replanner(self._optimizer, replan)
         compiled = None
         to_execute: Program | CompiledProgram = program
         compile_wall = 0.0
@@ -118,7 +130,8 @@ class Engine:
             to_execute = compiled
         executor = Executor(self.cluster, self.policy, tracer=tracer,
                             fault_plan=fault_plan,
-                            recovery_config=recovery_config)
+                            recovery_config=recovery_config,
+                            replanner=replanner)
         # Compilation happens on the driver in real time; fold the real wall
         # seconds plus any simulated statistics collection into the
         # simulated compilation phase so Fig. 12-style breakdowns add up.
@@ -128,6 +141,9 @@ class Engine:
                 compiled.notes.get("stats_collection_seconds", 0.0))
         env = executor.run(to_execute, input_data, symmetric=symmetric,
                            charge_partition=charge_partition)
+        notes = dict(compiled.notes) if compiled else {}
+        if replanner is not None:
+            notes["replan"] = replanner.metrics_summary()
         return RunResult(engine=self.name, env=env, metrics=executor.metrics,
                          compiled=compiled, compile_wall_seconds=compile_wall,
-                         notes=dict(compiled.notes) if compiled else {})
+                         notes=notes)

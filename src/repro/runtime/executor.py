@@ -37,6 +37,7 @@ from .hybrid import ExecutionPolicy
 from .physical import Kernels, Value
 from .plan import CompiledProgram
 from .recovery import RecoveryConfig, RecoveryManager
+from .replan import PlanSwitch, Replanner
 
 _COMPARISONS = {
     "<": lambda a, b: a < b,
@@ -61,7 +62,8 @@ class Executor:
 
     def __init__(self, config: ClusterConfig, policy: ExecutionPolicy | None = None,
                  metrics: MetricsCollector | None = None, tracer=None,
-                 fault_plan=None, recovery_config: RecoveryConfig | None = None):
+                 fault_plan=None, recovery_config: RecoveryConfig | None = None,
+                 replanner: Replanner | None = None):
         self.config = config
         metrics = metrics or MetricsCollector()
         #: Optional :class:`~repro.runtime.recovery.RecoveryManager`; built
@@ -78,8 +80,17 @@ class Executor:
         #: Optional :class:`~repro.runtime.trace.ExecutionTracer`; when None
         #: (the default) no spans are allocated and execution is unchanged.
         self.tracer = tracer
+        #: Optional :class:`~repro.runtime.replan.Replanner`; when None (the
+        #: default) no adaptation hooks run and execution is unchanged.
+        self.replanner = replanner
+        if (self.replanner is not None and self.recovery is not None
+                and self.replanner.config.on_shrink):
+            self.recovery.on_shrink = self.replanner.note_shrink
         #: Iterations executed per loop on the last run, for reporting.
         self.loop_iterations: list[int] = []
+        #: Top-level statements of the currently executing plan (the
+        #: replanner carries the statements after a loop into a switch).
+        self._top_statements: list | tuple = ()
 
     # ------------------------------------------------------------------
     # Program entry points
@@ -111,11 +122,27 @@ class Executor:
                                               charge_partition=charge_partition)
         env["__always__"] = self.kernels.from_scalar(1.0)
         self.loop_iterations = []
-        self._run_block(program.statements, env, ())
+        statements = program.statements
+        while True:
+            self._top_statements = statements
+            try:
+                self._run_block(statements, env, ())
+                break
+            except PlanSwitch as switch:
+                # Resume the replanned remaining program in the same
+                # environment: loop counters and carried variables persist,
+                # so values are untouched — only pricing and plan change.
+                statements = switch.compiled.program.statements
+                if tracer is not None:
+                    tracer.begin_run(switch.compiled.predicted_ops or {},
+                                     self.kernels.config.num_workers,
+                                     generation=switch.generation)
         if tracer is not None:
             self.metrics.trace_summary = tracer.metrics_summary()
         if self.recovery is not None:
             self.metrics.fault_summary = self.recovery.metrics_summary()
+        if self.replanner is not None:
+            self.metrics.replan_summary = self.replanner.metrics_summary()
         return env
 
     def _run_block(self, statements: list[Statement] | tuple[Statement, ...],
@@ -170,6 +197,18 @@ class Executor:
             if (recovery is not None and recovery.config.checkpoint_every > 0
                     and iterations % recovery.config.checkpoint_every == 0):
                 recovery.checkpoint(env.values(), iterations, _path_str(path))
+            replanner = self.replanner
+            if (replanner is not None and tracer is not None
+                    and len(path) == 1 and iterations < loop.max_iterations):
+                switched = replanner.consider(
+                    self, loop, env, path, iterations,
+                    tuple(self._top_statements[path[0] + 1:]))
+                if switched is not None:
+                    # Close this loop's spans before handing control back:
+                    # the remaining iterations run as the new program's loop.
+                    self.loop_iterations.append(iterations)
+                    tracer.end_loop(iterations)
+                    raise PlanSwitch(switched, replanner.generation)
         self.loop_iterations.append(iterations)
         if tracer is not None:
             tracer.end_loop(iterations)

@@ -77,6 +77,10 @@ class RecoveryConfig:
     backoff_base_seconds: float = 0.05
     #: Snapshot loop-carried variables every K iterations (0 = off).
     checkpoint_every: int = 0
+    #: Retry deadline: give up on one transmission once its cumulative
+    #: retry time (backoffs + re-sends) exceeds this many simulated
+    #: seconds, even with retries remaining. None = no deadline.
+    max_retry_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -87,6 +91,10 @@ class RecoveryConfig:
         if self.checkpoint_every < 0:
             raise ConfigError(
                 f"checkpoint_every must be >= 0, got {self.checkpoint_every}")
+        if self.max_retry_seconds is not None and not self.max_retry_seconds > 0.0:
+            raise ConfigError(
+                f"max_retry_seconds must be positive or None, "
+                f"got {self.max_retry_seconds}")
 
 
 class _LineageRecord:
@@ -134,6 +142,11 @@ class RecoveryManager:
         self.tracer = tracer
         self._records: list[_LineageRecord] = []
         self._kernels: "Kernels | None" = None
+        #: Called with the remaining worker count after every crash-driven
+        #: cluster shrink (the replanner's re-pricing hook). The callback
+        #: must only *observe* — healing and config shrinkage are complete
+        #: by the time it fires.
+        self.on_shrink: Callable[[int], None] | None = None
         self._counters: dict[str, float] = {key: 0.0 for key in (
             "fault_worker_crashes",
             "fault_transmission_failures",
@@ -221,6 +234,8 @@ class RecoveryManager:
         if self.injector is None:
             return
         attempts = 0
+        retry_spent = 0.0
+        deadline = self.config.max_retry_seconds
         while self.injector.transmission_fails(primitive):
             attempts += 1
             self._counters["fault_transmission_failures"] += 1.0
@@ -229,6 +244,14 @@ class RecoveryManager:
                     f"{primitive} transmission of {nbytes:.0f} bytes still "
                     f"failing after {self.config.max_retries} retries")
             backoff = self.config.backoff_base_seconds * (2.0 ** (attempts - 1))
+            if deadline is not None and retry_spent + backoff + seconds > deadline:
+                # Give up *before* charging an attempt that cannot finish
+                # inside the deadline, so the simulated clock stays honest.
+                raise ExecutionError(
+                    f"{primitive} transmission of {nbytes:.0f} bytes exceeded "
+                    f"the retry deadline of {deadline:.6f}s after {attempts - 1} "
+                    f"retries ({retry_spent:.6f}s spent retrying)")
+            retry_spent += backoff + seconds
             self.metrics.charge_transmission(primitive, 0.0, backoff)
             self.metrics.charge_transmission(primitive, nbytes, seconds)
             self._counters["recovery_backoff_seconds"] += backoff
@@ -306,6 +329,8 @@ class RecoveryManager:
             self._kernels.network.config = self.cluster_config
         if self.tracer is not None:
             self.tracer.set_num_workers(remaining)
+        if self.on_shrink is not None:
+            self.on_shrink(remaining)
 
     def _heal(self, record: _LineageRecord, matrix: BlockedMatrix,
               slot: int, old_workers: int, remaining: int) -> None:

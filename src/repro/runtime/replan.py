@@ -1,0 +1,380 @@
+"""Drift- and fault-driven adaptive replanning (graceful degradation).
+
+A compiled plan is only as good as what the optimizer believed at compile
+time: the sparsity estimator's nnz claims and the cluster topology it
+priced against. Both can be wrong mid-run — skewed data makes estimates
+drift from observation, and a worker crash shrinks the cluster the plan
+was priced for. This module closes the loop:
+
+* **Drift watch.** The :class:`Replanner` incrementally folds the
+  execution tracer's operator spans into per-site accumulators of
+  predicted vs observed seconds. When one site's cumulative gap exceeds
+  ``drift_threshold`` (a ratio against observed time), the remaining
+  program is recompiled under a :class:`~repro.core.sparsity.calibrate.
+  CalibrationState` distilled from the observed operand/output metas, so
+  the re-priced plan sees the truth the estimator missed.
+
+* **Shrink watch.** With ``on_shrink`` set, the recovery manager's
+  ``on_shrink`` callback marks the cluster as re-priceable; the next loop
+  boundary recompiles the remaining program against the *current*
+  (smaller) cluster config, so eliminations that only pay off on fewer
+  workers (compute scales with 1/W, a hoisted temporary's one-off persist
+  does not) get adopted mid-run.
+
+* **Safety gate.** A candidate plan is adopted only when it is
+  *inline-equivalent* to the stale remaining program: with every
+  optimizer-generated temporary substituted back into its use sites, the
+  two programs must be structurally identical ASTs. Inline-equivalent
+  programs perform the same value computations in the same order, so
+  replanning can change simulated time and metrics but never the final
+  matrices — the runs stay bit-identical to the fault-free, non-adaptive
+  execution. Candidates that restructure further (different chain
+  association) are rejected and counted, never executed.
+
+Adopted plans are handed to the executor by raising :class:`PlanSwitch`
+at a top-level loop boundary; the executor resumes the *new* program in
+the *same* environment (loop counters and carried variables persist, so
+the loop condition picks up where it left off). Each replan compile runs
+with a generation-specific temporary prefix (``tREPLAN<gen>R``) so fresh
+temps cannot collide with live hoisted temporaries from earlier plans,
+and with the calibration state and shrunken cluster in the plan-cache
+fingerprint, so repeated identical replans are warm hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from ..core.sparsity.calibrate import CalibrationState
+from ..errors import ConfigError
+from ..lang.ast import (
+    Add,
+    Call,
+    Compare,
+    ElemDiv,
+    ElemMul,
+    Expr,
+    Literal,
+    MatMul,
+    MatrixRef,
+    Neg,
+    ScalarRef,
+    Sub,
+    Transpose,
+)
+from ..lang.program import Assign, Program, Statement, WhileLoop
+from .plan import CompiledProgram
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from .executor import Executor
+
+#: Prefixes of optimizer-generated temporaries (original compile and every
+#: replan generation). The inline-equivalence gate substitutes these back.
+TEMP_PREFIXES = ("tREMAC", "tREPLAN")
+
+#: Observed seconds below this count as zero when forming drift ratios.
+_EPSILON_SECONDS = 1e-12
+
+
+@dataclass(frozen=True)
+class ReplanConfig:
+    """Knobs of the adaptation layer (``--replan-drift-threshold``,
+    ``--replan-on-shrink`` on the CLI). The all-defaults config is
+    disabled: no replanner is built and execution is byte-identical to
+    the replanning-unaware build."""
+
+    #: Recompile when some operator site's cumulative |predicted −
+    #: observed| exceeds this fraction of its observed seconds. None (the
+    #: default) disables drift-driven replanning.
+    drift_threshold: float | None = None
+    #: Ignore drift whose absolute cumulative gap is below this many
+    #: simulated seconds — keeps free operators from triggering on noise.
+    min_drift_seconds: float = 1e-9
+    #: Recompile (re-price for the smaller cluster) after a crash-driven
+    #: cluster shrink.
+    on_shrink: bool = False
+    #: Maximum plan switches per execution (a runaway guard; each adopted
+    #: replan increments the plan generation).
+    max_replans: int = 4
+
+    def __post_init__(self) -> None:
+        if self.drift_threshold is not None and not self.drift_threshold > 0.0:
+            raise ConfigError(
+                f"drift_threshold must be positive or None, "
+                f"got {self.drift_threshold}")
+        if self.min_drift_seconds < 0.0:
+            raise ConfigError(
+                f"min_drift_seconds must be >= 0, got {self.min_drift_seconds}")
+        if self.max_replans < 0:
+            raise ConfigError(
+                f"max_replans must be >= 0, got {self.max_replans}")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any trigger is armed."""
+        return self.drift_threshold is not None or self.on_shrink
+
+
+class PlanSwitch(Exception):
+    """Raised at a loop boundary to hand the executor an adopted plan.
+
+    Control flow, not an error: the executor catches it in :meth:`~repro.
+    runtime.executor.Executor.run` and resumes the new program in the
+    current environment.
+    """
+
+    def __init__(self, compiled: CompiledProgram, generation: int):
+        super().__init__(f"switching to replanned generation {generation}")
+        self.compiled = compiled
+        self.generation = generation
+
+
+# ----------------------------------------------------------------------
+# Inline-equivalence gate
+# ----------------------------------------------------------------------
+def _is_temp(name: str) -> bool:
+    return name.startswith(TEMP_PREFIXES)
+
+
+def _substitute(expr: Expr, mapping: dict[str, Expr]) -> Expr:
+    """Rebuild ``expr`` with every mapped reference replaced."""
+    if isinstance(expr, (MatrixRef, ScalarRef)):
+        return mapping.get(expr.name, expr)
+    if isinstance(expr, Literal):
+        return expr
+    if isinstance(expr, Transpose):
+        return Transpose(_substitute(expr.child, mapping))
+    if isinstance(expr, Neg):
+        return Neg(_substitute(expr.child, mapping))
+    if isinstance(expr, (MatMul, Add, Sub, ElemMul, ElemDiv)):
+        return type(expr)(_substitute(expr.left, mapping),
+                          _substitute(expr.right, mapping))
+    if isinstance(expr, Compare):
+        return Compare(op=expr.op, left=_substitute(expr.left, mapping),
+                       right=_substitute(expr.right, mapping))
+    if isinstance(expr, Call):
+        return Call(expr.func, tuple(_substitute(arg, mapping)
+                                     for arg in expr.args))
+    return expr  # pragma: no cover - defensive: unknown nodes pass through
+
+
+def _inline_block(statements, mapping: dict[str, Expr]) -> tuple[Statement, ...]:
+    inlined: list[Statement] = []
+    for stmt in statements:
+        if isinstance(stmt, Assign):
+            expr = _substitute(stmt.expr, mapping)
+            if _is_temp(stmt.target):
+                # Temp definitions disappear; their uses expand in place.
+                mapping[stmt.target] = expr
+                continue
+            inlined.append(Assign(stmt.target, expr))
+        elif isinstance(stmt, WhileLoop):
+            condition = _substitute(stmt.condition, mapping)
+            body = _inline_block(stmt.body, mapping)
+            inlined.append(WhileLoop(condition=condition, body=body,
+                                     max_iterations=stmt.max_iterations))
+        else:  # pragma: no cover - defensive
+            inlined.append(stmt)
+    return tuple(inlined)
+
+
+def inline_temporaries(program: Program) -> tuple[Statement, ...]:
+    """The program with all optimizer temporaries substituted away.
+
+    Temps referenced but never defined in the program (hoisted by an
+    *earlier* plan, live in the environment) are left as plain references
+    — both sides of an equivalence check see them identically.
+    """
+    return _inline_block(program.statements, {})
+
+
+def inline_equivalent(old: Program, new: Program) -> bool:
+    """Whether two programs compute identical values in identical order.
+
+    Structural AST equality after temp inlining: sufficient for the
+    bit-identity invariant because two inline-equivalent programs run the
+    same deterministic kernel computations on the same values — a hoisted
+    temporary only changes *when* a subexpression is computed relative to
+    the loop, never what it computes, and the executor's arithmetic is
+    deterministic. Any rewrite beyond hoisting/sharing (re-association,
+    operand reordering) breaks the equality and is rejected.
+    """
+    return inline_temporaries(old) == inline_temporaries(new)
+
+
+# ----------------------------------------------------------------------
+# The replanner
+# ----------------------------------------------------------------------
+class Replanner:
+    """Watches one execution and proposes mid-run plan switches.
+
+    Owned by one :class:`~repro.runtime.executor.Executor` run; holds the
+    engine optimizer for its config/policy baseline and its plan cache
+    (replan compiles share the cache, keyed apart by calibration state,
+    temp prefix, and the post-shrink cluster in the fingerprint).
+    """
+
+    def __init__(self, optimizer, config: ReplanConfig):
+        self.optimizer = optimizer
+        self.config = config
+        #: Current plan generation: 0 until a replan is adopted.
+        self.generation = 0
+        self._watermark = 0  # tracer spans consumed so far
+        #: (statement, op_index, op) -> [predicted seconds, observed seconds].
+        self._sites: dict[tuple, list[float]] = {}
+        self._pending_shrink = False
+        #: Loops whose drift trigger is muted after a rejected candidate
+        #: (un-muted by shrinks and adoptions), so systematic drift cannot
+        #: burn a compile every iteration for a plan that never changes.
+        self._muted_loops: set[tuple] = set()
+        self._counters: dict[str, float] = {key: 0.0 for key in (
+            "replan_checks",
+            "replan_triggers",
+            "replan_compiles",
+            "replan_compile_seconds",
+            "replan_adopted",
+            "replan_rejected",
+            "replan_shrink_events",
+        )}
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def note_shrink(self, remaining_workers: int) -> None:
+        """Recovery-manager callback: the cluster just shrank."""
+        self._counters["replan_shrink_events"] += 1.0
+        self._pending_shrink = True
+        self._muted_loops.clear()
+
+    def metrics_summary(self) -> dict[str, float]:
+        """Additive ``replan_*`` aggregates for
+        :meth:`~repro.cluster.metrics.MetricsCollector.summary`."""
+        summary = dict(self._counters)
+        summary["replan_generation"] = float(self.generation)
+        return summary
+
+    # ------------------------------------------------------------------
+    # The per-iteration hook (called by the executor's loop driver)
+    # ------------------------------------------------------------------
+    def consider(self, executor: "Executor", loop: WhileLoop, env: dict,
+                 path: tuple, iterations_done: int,
+                 trailing: tuple) -> CompiledProgram | None:
+        """Decide, at a loop boundary, whether to switch plans.
+
+        Returns the adopted compiled remaining-program, or None to keep
+        executing the current plan. ``trailing`` holds the top-level
+        statements after the loop, which ride along into the new program.
+        """
+        tracer = executor.tracer
+        if tracer is None or self.generation >= self.config.max_replans:
+            return None
+        self._ingest(tracer)
+        self._counters["replan_checks"] += 1.0
+        remaining = loop.max_iterations - iterations_done
+        if remaining <= 1:
+            return None  # too little left for a one-off hoist to amortize
+        trigger = self._trigger(path)
+        if trigger is None:
+            return None
+        self._counters["replan_triggers"] += 1.0
+        compiled, reason = self._recompile(executor, tracer, loop, env,
+                                           remaining, trailing)
+        # One decision per trigger: re-arm only on fresh drift/shrink.
+        self._pending_shrink = False
+        self._sites.clear()
+        workers = executor.kernels.config.num_workers
+        if compiled is None:
+            self._counters["replan_rejected"] += 1.0
+            if trigger == "drift":
+                self._muted_loops.add(path)
+            tracer.record_event("replan", adopted=False, trigger=trigger,
+                                reason=reason, generation=self.generation,
+                                workers=workers)
+            return None
+        self.generation += 1
+        self._counters["replan_adopted"] += 1.0
+        # Statement paths restart in the new program; stale mutes with them.
+        self._muted_loops.clear()
+        tracer.record_event("replan", adopted=True, trigger=trigger,
+                            reason=reason, generation=self.generation,
+                            workers=workers,
+                            remaining_iterations=remaining,
+                            applied_options=compiled.num_applied,
+                            estimated_cost=compiled.estimated_cost)
+        return compiled
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _ingest(self, tracer) -> None:
+        """Fold spans recorded since the last check into the site table."""
+        spans = tracer.spans
+        for span in spans[self._watermark:]:
+            if span.get("span") != "operator":
+                continue
+            predicted = span.get("predicted")
+            if predicted is None:
+                continue
+            site = self._sites.setdefault(
+                (span["statement"], span["op_index"], span["op"]), [0.0, 0.0])
+            site[0] += predicted["seconds"]
+            site[1] += span["observed"]["seconds"]
+        self._watermark = len(spans)
+
+    def _trigger(self, path: tuple) -> str | None:
+        if self._pending_shrink and self.config.on_shrink:
+            return "shrink"
+        threshold = self.config.drift_threshold
+        if threshold is None or path in self._muted_loops:
+            return None
+        for predicted, observed in self._sites.values():
+            gap = abs(predicted - observed)
+            if gap < self.config.min_drift_seconds:
+                continue
+            if gap / max(observed, _EPSILON_SECONDS) > threshold:
+                return "drift"
+        return None
+
+    def _recompile(self, executor: "Executor", tracer, loop: WhileLoop,
+                   env: dict, remaining: int,
+                   trailing: tuple) -> tuple[CompiledProgram | None, str]:
+        """Compile the remaining program under observed truth; gate it."""
+        from ..core.optimizer import ReMacOptimizer  # import-cycle guard
+        calibration = CalibrationState.from_spans(tracer.spans)
+        stale = Program(
+            statements=[WhileLoop(condition=loop.condition, body=loop.body,
+                                  max_iterations=remaining), *trailing])
+        inputs = {}
+        input_data = {}
+        for name, value in env.items():
+            if name == "__always__":
+                continue
+            inputs[name] = value.meta
+            input_data[name] = (value.scalar_value() if value.is_scalar
+                                else value.matrix)
+        stale.inputs = sorted(inputs)
+        config = replace(self.optimizer.config, calibration=calibration,
+                         temp_prefix=f"tREPLAN{self.generation + 1}R")
+        # Price against the *current* kernels config: a crash-shrunk
+        # cluster re-prices for the survivors, and the worker count in the
+        # fingerprint keys the cached replan apart from the original plan.
+        opt = ReMacOptimizer(executor.kernels.config, config,
+                             self.optimizer.policy)
+        if self.optimizer.plan_cache is not None:
+            opt.plan_cache = self.optimizer.plan_cache
+        compiled = opt.compile(stale, inputs, input_data)
+        # Replanning happens on the driver in real time, mid-execution:
+        # charge its wall seconds (plus any simulated statistics
+        # collection) to the compilation phase, same as the initial
+        # compile — adaptivity is never free.
+        wall = compiled.compile_seconds + compiled.notes.get(
+            "stats_collection_seconds", 0.0)
+        executor.metrics.charge_compilation(wall)
+        self._counters["replan_compiles"] += 1.0
+        self._counters["replan_compile_seconds"] += wall
+        if not compiled.applied_options:
+            return None, "no-change"
+        if not inline_equivalent(stale, compiled.program):
+            return None, "not-inline-equivalent"
+        return compiled, "adopted"

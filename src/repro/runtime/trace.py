@@ -64,6 +64,9 @@ class ExecutionTracer:
         self._predictions: dict[StatementPath, tuple[PredictedOp, ...]] = {}
         self._num_workers = 1
         self._seq = 0
+        #: Plan generation: 0 = the original compile; each adopted replan
+        #: increments it via :meth:`begin_run`.
+        self._generation = 0
         # Current statement context.
         self._stmt_path: StatementPath | None = None
         self._stmt_kind = "statement"
@@ -79,10 +82,15 @@ class ExecutionTracer:
     # Run / statement / loop lifecycle (called by the executor)
     # ------------------------------------------------------------------
     def begin_run(self, predicted_ops: dict[StatementPath, tuple[PredictedOp, ...]],
-                  num_workers: int) -> None:
-        """Install one compiled plan's predictions for the next execution."""
+                  num_workers: int, generation: int = 0) -> None:
+        """Install one compiled plan's predictions for the next execution.
+
+        ``generation`` tags spans recorded under a mid-run replan (adopted
+        plan N stamps ``gen: N``); generation 0 — the original plan — stamps
+        nothing, so traces without replanning stay byte-identical."""
         self._predictions = predicted_ops
         self._num_workers = num_workers
+        self._generation = generation
 
     def set_num_workers(self, num_workers: int) -> None:
         """Track cluster shrinkage (a crashed worker) mid-run, so placement
@@ -234,6 +242,8 @@ class ExecutionTracer:
     def _append_span(self, span: dict) -> None:
         span["seq"] = self._seq
         self._seq += 1
+        if self._generation:
+            span["gen"] = self._generation
         self.spans.append(span)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,342 @@
+"""Drift- and fault-driven adaptive replanning tests.
+
+The hard invariants under test:
+
+1. With replanning disabled (or a disabled config), runs are bit-identical
+   to a build that never heard of replanning — same simulated times, no
+   ``replan_*`` metric keys.
+2. With replanning enabled, under drift or crashes, the final matrices are
+   bit-identical to the fault-free non-adaptive run — replanning may only
+   change simulated time and metrics, never answers.
+3. On the mis-estimation and mid-run-crash scenarios, the adaptive run's
+   simulated execution time is strictly below the stale plan's.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.cluster.faults import (CrashEvent, FaultInjector, FaultPlan,
+                                  StragglerEvent)
+from repro.config import ClusterConfig, OptimizerConfig
+from repro.engines.base import Engine
+from repro.errors import ConfigError, ExecutionError
+from repro.lang import parse
+from repro.matrix import MatrixMeta, scalar_meta
+from repro.runtime import ExecutionTracer, Executor, RecoveryConfig
+from repro.runtime.replan import (ReplanConfig, inline_equivalent,
+                                  inline_temporaries)
+
+GRAM_SOURCE = """
+i = 0
+while (i < N) {
+  G = t(A) %*% A
+  x = x + (G %*% x) * 0.0001
+  i = i + 1
+}
+"""
+
+ITERATIONS = 10
+
+
+def _concentrated_matrix(m, k, sparsity, hot_cols, seed):
+    rng = np.random.default_rng(seed)
+    nnz = int(m * k * sparsity)
+    rows = rng.integers(0, m, size=nnz)
+    cols = rng.integers(0, hot_cols, size=nnz)
+    vals = rng.standard_normal(nnz)
+    return sp.coo_matrix((vals, (rows, cols)), shape=(m, k)).tocsr()
+
+
+def _run_gram(A, cluster, estimator, *, replan=None, fault_plan=None,
+              recovery_config=None, tracer=None, engine=None):
+    m, k = A.shape
+    meta = {
+        "A": MatrixMeta(m, k, A.nnz / (m * k)),
+        "x": MatrixMeta(k, 1, 1.0),
+        "i": scalar_meta(),
+        "N": scalar_meta(),
+    }
+    data = {"A": A, "x": np.ones((k, 1)), "i": 0.0, "N": float(ITERATIONS)}
+    program = parse(GRAM_SOURCE, scalar_names={"i", "N"},
+                    max_iterations=ITERATIONS)
+    if engine is None:
+        engine = Engine(cluster, OptimizerConfig(estimator=estimator))
+    return engine.run(program, meta, data, iterations=ITERATIONS,
+                      replan=replan, fault_plan=fault_plan,
+                      recovery_config=recovery_config, tracer=tracer)
+
+
+@pytest.fixture(scope="module")
+def drift_case():
+    """Mis-estimated skew: the metadata estimator over-predicts the Gram
+    product's density and declines the loop-constant hoist; observed
+    statistics flip the decision mid-loop."""
+    A = _concentrated_matrix(16384, 512, sparsity=0.02, hot_cols=16, seed=7)
+    cluster = ClusterConfig(dfs_bytes_per_sec=5e5)
+    tracer = ExecutionTracer()
+    return {
+        "A": A,
+        "cluster": cluster,
+        "oracle": _run_gram(A, cluster, "exact"),
+        "stale": _run_gram(A, cluster, "metadata"),
+        "adaptive": _run_gram(A, cluster, "metadata", tracer=tracer,
+                              replan=ReplanConfig(drift_threshold=0.5)),
+        "tracer": tracer,
+    }
+
+
+@pytest.fixture(scope="module")
+def crash_case():
+    """Mid-run shrink 6 -> 2 workers: the six-worker plan correctly
+    declined the hoist, but on the survivors compute dominates and
+    re-pricing adopts it."""
+    rng = np.random.default_rng(7)
+    A = sp.random(4096, 512, density=0.4,
+                  random_state=np.random.RandomState(11),
+                  data_rvs=rng.standard_normal).tocsr()
+    cluster = ClusterConfig(num_workers=6, flops_per_core=1e7,
+                            dfs_bytes_per_sec=1.3e5)
+    plan = FaultPlan(crashes=tuple(CrashEvent(time=0.4 * (n + 1), worker=0)
+                                   for n in range(4)), seed=0)
+    return {
+        "A": A,
+        "cluster": cluster,
+        "plan": plan,
+        "fault_free": _run_gram(A, cluster, "exact"),
+        "stale": _run_gram(A, cluster, "exact", fault_plan=plan),
+        "adaptive": _run_gram(A, cluster, "exact", fault_plan=plan,
+                              replan=ReplanConfig(on_shrink=True)),
+    }
+
+
+class TestReplanConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ReplanConfig(drift_threshold=0.0)
+        with pytest.raises(ConfigError):
+            ReplanConfig(drift_threshold=-1.0)
+        with pytest.raises(ConfigError):
+            ReplanConfig(min_drift_seconds=-1e-9)
+        with pytest.raises(ConfigError):
+            ReplanConfig(max_replans=-1)
+
+    def test_enabled(self):
+        assert not ReplanConfig().enabled
+        assert ReplanConfig(drift_threshold=0.5).enabled
+        assert ReplanConfig(on_shrink=True).enabled
+
+
+class TestInlineEquivalence:
+    def test_temporaries_substituted(self):
+        hoisted = parse("tREMAC0 = t(A) %*% A\nG = tREMAC0 %*% x\n",
+                        max_iterations=ITERATIONS)
+        plain = parse("G = (t(A) %*% A) %*% x\n", max_iterations=ITERATIONS)
+        assert inline_temporaries(hoisted) == inline_temporaries(plain)
+        assert inline_equivalent(hoisted, plain)
+
+    def test_non_temp_names_kept(self):
+        named = parse("y = t(A) %*% A\nG = y %*% x\n",
+                      max_iterations=ITERATIONS)
+        plain = parse("G = (t(A) %*% A) %*% x\n", max_iterations=ITERATIONS)
+        assert not inline_equivalent(named, plain)
+
+    def test_different_computations_rejected(self):
+        left = parse("tREMAC0 = t(A) %*% A\nG = tREMAC0 %*% x\n",
+                     max_iterations=ITERATIONS)
+        right = parse("G = t(A) %*% (A %*% x)\n", max_iterations=ITERATIONS)
+        assert not inline_equivalent(left, right)
+
+    def test_loop_bodies_inlined(self):
+        hoisted = parse(
+            "tREPLAN1R0_0 = t(A) %*% A\n"
+            "while (i < N) {\n  x = tREPLAN1R0_0 %*% x\n  i = i + 1\n}\n",
+            scalar_names={"i", "N"}, max_iterations=ITERATIONS)
+        plain = parse(
+            "while (i < N) {\n  x = (t(A) %*% A) %*% x\n  i = i + 1\n}\n",
+            scalar_names={"i", "N"}, max_iterations=ITERATIONS)
+        assert inline_equivalent(hoisted, plain)
+
+
+class TestDisabledInvariant:
+    def test_disabled_config_changes_nothing(self, drift_case):
+        stale = drift_case["stale"]
+        disabled = _run_gram(drift_case["A"], drift_case["cluster"],
+                             "metadata", replan=ReplanConfig())
+        assert np.array_equal(stale.value("x"), disabled.value("x"))
+        assert disabled.execution_seconds == stale.execution_seconds
+        assert disabled.metrics.replan_summary is None
+        assert not any(key.startswith("replan_")
+                       for key in disabled.metrics.summary())
+
+    def test_no_replan_keys_without_config(self, drift_case):
+        summary = drift_case["stale"].metrics.summary()
+        assert not any(key.startswith("replan_") for key in summary)
+
+
+class TestDriftReplanning:
+    def test_adaptive_strictly_faster(self, drift_case):
+        assert drift_case["adaptive"].execution_seconds < \
+            drift_case["stale"].execution_seconds
+
+    def test_bit_identical_to_fault_free(self, drift_case):
+        x_ref = drift_case["oracle"].value("x")
+        assert np.array_equal(x_ref, drift_case["stale"].value("x"))
+        assert np.array_equal(x_ref, drift_case["adaptive"].value("x"))
+
+    def test_metrics_summary(self, drift_case):
+        summary = drift_case["adaptive"].metrics.replan_summary
+        assert summary["replan_triggers"] >= 1
+        assert summary["replan_adopted"] == 1
+        assert summary["replan_generation"] == 1
+        assert summary["replan_compiles"] >= 1
+        assert summary["replan_compile_seconds"] > 0
+        flat = drift_case["adaptive"].metrics.summary()
+        assert flat["replan_adopted"] == 1
+
+    def test_trace_records_switch(self, drift_case):
+        spans = drift_case["tracer"].spans
+        replans = [s for s in spans if s.get("span") == "replan"]
+        assert len(replans) == 1
+        assert replans[0]["adopted"] is True
+        assert replans[0]["trigger"] == "drift"
+        assert any(s.get("gen") == 1 for s in spans)
+
+    def test_plan_cache_keys_calibration_apart(self, drift_case):
+        A = drift_case["A"]
+        m, k = A.shape
+        meta = {"A": MatrixMeta(m, k, A.nnz / (m * k)),
+                "x": MatrixMeta(k, 1, 1.0),
+                "i": scalar_meta(), "N": scalar_meta()}
+        data = {"A": A, "x": np.ones((k, 1)), "i": 0.0,
+                "N": float(ITERATIONS)}
+        program = parse(GRAM_SOURCE, scalar_names={"i", "N"},
+                        max_iterations=ITERATIONS)
+        engine = Engine(drift_case["cluster"],
+                        OptimizerConfig(estimator="metadata"))
+        config = ReplanConfig(drift_threshold=0.5)
+        first = engine.run(program, meta, data, iterations=ITERATIONS,
+                           replan=config)
+        stats = engine.optimizer.plan_cache.stats
+        # The calibrated mid-loop recompile must not reuse the stale
+        # uncalibrated plan: two distinct fingerprints, zero hits.
+        assert stats.hits == 0
+        assert stats.misses == 2
+        second = engine.run(program, meta, data, iterations=ITERATIONS,
+                            replan=config)
+        # Same program and same bound data objects: the initial compile of
+        # the second run hits the cached (uncalibrated) plan.
+        assert engine.optimizer.plan_cache.stats.hits >= 1
+        assert second.execution_seconds == first.execution_seconds
+        assert np.array_equal(first.value("x"), second.value("x"))
+        assert second.metrics.replan_summary["replan_adopted"] == 1
+
+
+class TestShrinkReplanning:
+    def test_adaptive_strictly_faster(self, crash_case):
+        assert crash_case["adaptive"].execution_seconds < \
+            crash_case["stale"].execution_seconds
+
+    def test_bit_identical_to_fault_free(self, crash_case):
+        x_ref = crash_case["fault_free"].value("x")
+        assert np.array_equal(x_ref, crash_case["stale"].value("x"))
+        assert np.array_equal(x_ref, crash_case["adaptive"].value("x"))
+
+    def test_shrink_events_counted(self, crash_case):
+        summary = crash_case["adaptive"].metrics.replan_summary
+        assert summary["replan_shrink_events"] >= 1
+        assert summary["replan_adopted"] == 1
+
+    def test_checkpointing_composes_with_replanning(self, crash_case):
+        """Satellite: ``checkpoint_every`` and mid-loop replanning both
+        rewrite the loop's execution — together they must still be
+        bit-identical to the fault-free run."""
+        result = _run_gram(
+            crash_case["A"], crash_case["cluster"], "exact",
+            fault_plan=crash_case["plan"],
+            recovery_config=RecoveryConfig(checkpoint_every=2),
+            replan=ReplanConfig(on_shrink=True))
+        assert np.array_equal(crash_case["fault_free"].value("x"),
+                              result.value("x"))
+        assert result.metrics.replan_summary["replan_adopted"] == 1
+        assert result.metrics.fault_summary["recovery_checkpoints"] > 0
+
+
+class TestFaultPlanStrictness:
+    def test_load_names_path_on_malformed_json(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError) as excinfo:
+            FaultPlan.load(str(path))
+        assert str(path) in str(excinfo.value)
+        assert "not valid JSON" in str(excinfo.value)
+
+    def test_load_names_path_on_unknown_key(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text('{"crashes": [], "crashs": []}')
+        with pytest.raises(ConfigError) as excinfo:
+            FaultPlan.load(str(path))
+        assert str(path) in str(excinfo.value)
+        assert "crashs" in str(excinfo.value)
+
+    def test_load_rejects_non_object_payload(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ConfigError) as excinfo:
+            FaultPlan.load(str(path))
+        assert str(path) in str(excinfo.value)
+
+    def test_from_dict_rejects_unknown_event_keys(self):
+        with pytest.raises(ConfigError, match="crash"):
+            FaultPlan.from_dict(
+                {"crashes": [{"time": 0.1, "worker": 0, "oops": 1}]})
+        with pytest.raises(ConfigError, match="straggler"):
+            FaultPlan.from_dict(
+                {"stragglers": [{"worker": 0, "start": 0.0, "duration": 1.0,
+                                 "factor": 2.0, "speed": 9}]})
+
+    def test_roundtrip_includes_straggler_cap(self):
+        plan = FaultPlan(
+            stragglers=(StragglerEvent(0, start=0.0, duration=1.0,
+                                       factor=2.0),),
+            max_straggler_factor=4.0)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_straggler_cap_validated(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(max_straggler_factor=0.5)
+        with pytest.raises(ConfigError):
+            FaultPlan(max_straggler_factor=float("nan"))
+
+    def test_straggler_factor_capped(self):
+        plan = FaultPlan(
+            stragglers=(StragglerEvent(0, start=0.0, duration=1.0,
+                                       factor=8.0),),
+            max_straggler_factor=4.0)
+        injector = FaultInjector(plan)
+        assert injector.straggler_factor(0.5) == 4.0
+        assert injector.straggler_factor(2.0) == 1.0
+
+
+class TestRetryDeadline:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RecoveryConfig(max_retry_seconds=0.0)
+        with pytest.raises(ConfigError):
+            RecoveryConfig(max_retry_seconds=-1.0)
+        RecoveryConfig(max_retry_seconds=None)
+
+    def test_deadline_raises_annotated_error(self, cluster):
+        program = parse("y = t(A) %*% A\n", max_iterations=ITERATIONS)
+        data = {"A": np.random.default_rng(0).random((200, 40))}
+        plan = FaultPlan(transmission_failure_rates={"shuffle": 0.99,
+                                                     "broadcast": 0.99,
+                                                     "collect": 0.99,
+                                                     "dfs": 0.99}, seed=0)
+        executor = Executor(cluster, fault_plan=plan,
+                            recovery_config=RecoveryConfig(
+                                max_retries=10_000,
+                                max_retry_seconds=1e-6))
+        with pytest.raises(ExecutionError, match="retry deadline") as excinfo:
+            executor.run(program, data)
+        assert excinfo.value.statement_path is not None
