@@ -79,10 +79,23 @@ def _build_parser() -> argparse.ArgumentParser:
                           "(1 = serial, 0 = one thread per CPU; "
                           "default: serial)")
     run.add_argument("--kernel-workers", type=int, default=None, metavar="W",
-                     help="thread-pool width for block-level execution "
-                          "kernels (1 = serial, 0 = one thread per CPU; "
+                     help="worker-pool width for block-level execution "
+                          "kernels (1 = serial, 0 = one worker per CPU; "
                           "default: serial); perf-only — results and "
                           "simulated times are bit-identical at any width")
+    run.add_argument("--kernel-backend", default=None,
+                     choices=["thread", "process"],
+                     help="block-kernel fan-out backend: 'thread' (shared "
+                          "thread pool) or 'process' (worker processes fed "
+                          "via shared memory, so the GIL stops bounding "
+                          "dense matmul); perf-only, and hosts without "
+                          "process-pool support fall back to threads")
+    run.add_argument("--kernel-parallel-threshold", type=float, default=None,
+                     metavar="CELLS",
+                     help="serial/parallel gate for block kernels, in "
+                          "estimated cell touches per tile task (0 = always "
+                          "parallel, inf = always serial; default: "
+                          "calibrated once per host and backend)")
     run.add_argument("--no-fusion", action="store_true",
                      help="disable cost-priced operator fusion (fused "
                           "element-wise regions and cost-gated mmchain); "
@@ -167,6 +180,11 @@ def _command_run(args) -> int:
     cluster = ClusterConfig()
     if args.kernel_workers is not None:
         cluster = replace(cluster, kernel_workers=args.kernel_workers)
+    if args.kernel_backend is not None:
+        cluster = replace(cluster, kernel_backend=args.kernel_backend)
+    if args.kernel_parallel_threshold is not None:
+        cluster = replace(
+            cluster, kernel_parallel_threshold=args.kernel_parallel_threshold)
     if args.single_node:
         cluster = cluster.as_single_node()
     dataset = load_dataset(args.dataset, scale=args.scale)

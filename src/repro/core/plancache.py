@@ -52,9 +52,12 @@ PERF_ONLY_CONFIG_FIELDS = frozenset({
 })
 
 #: ClusterConfig fields that cannot affect the chosen plan or its
-#: predicted cost — the kernel thread-pool width only changes host
-#: wall-clock, so toggling it must hit the same cached plan.
-PERF_ONLY_CLUSTER_FIELDS = frozenset({"kernel_workers"})
+#: predicted cost — the kernel pool width, backend, and serial/parallel
+#: gate only change host wall-clock, so toggling them must hit the same
+#: cached plan.
+PERF_ONLY_CLUSTER_FIELDS = frozenset({
+    "kernel_workers", "kernel_backend", "kernel_parallel_threshold",
+})
 
 
 class DataTokens:

@@ -18,11 +18,18 @@ bit-identical to the serial seed behaviour:
 
 * **Parallel block kernels.** The tile loops of ``matmul``, the cell-wise
   ops, ``transpose``, ``map_cells``, ``add_scalar``, and construction fan
-  out over the shared thread pool in :mod:`repro.matrix.blockpool` when a
-  ``workers`` count > 1 is passed (the runtime threads
-  ``ClusterConfig.kernel_workers`` through). Each helper preserves the
+  out over the shared worker pools in :mod:`repro.matrix.blockpool` when a
+  ``workers`` count > 1 (or a :class:`~repro.matrix.blockpool.
+  KernelDispatch`) is passed — the runtime threads
+  ``ClusterConfig.kernel_dispatch()`` through. The heavy kernels (matmul
+  tile products, the ``_zip`` family, ``add_scalar``) are module-level
+  task functions over self-contained task tuples, so the process backend
+  can ship them to worker processes; construction and ``map_cells`` carry
+  closures and run on the thread backend. Each helper preserves the
   serial iteration order for every float fold and grid insertion, so
-  parallelism only changes host wall-clock, never a value.
+  parallelism only changes host wall-clock, never a value. Every
+  ``work_hint`` follows the :func:`~repro.matrix.blockpool.map_blocks`
+  contract: estimated *cell touches per tile task*.
 * **Cached block statistics.** Grids are treated as immutable once an
   operation returns, so ``nnz``, ``serialized_bytes()``, and ``meta()``
   are computed once and cached; callers that legitimately edit ``blocks``
@@ -252,10 +259,15 @@ class BlockedMatrix:
         result = BlockedMatrix(self.cols, self.rows, self.block_size,
                                symmetric=self.symmetric)
         entries = list(self.blocks.items())
-        # Per-tile transpose is near-free (dense payloads transpose as
-        # views), so the pool never pays here — the hint keeps it serial.
-        result.blocks.update(map_blocks(_transposed_entry, entries, workers,
-                                        work_hint=float(len(entries))))
+        # Per-task cell touches: dense payloads transpose as views (zero
+        # touches), while CSR payloads pay an O(nnz) re-conversion — so
+        # the hint is the average nnz of the *sparse* tiles only. Dense
+        # grids hint 0.0 and stay serial, where the pool never pays.
+        sparse_touches = sum(block.nnz for _, block in entries
+                             if block.is_sparse)
+        result.blocks.update(
+            map_blocks(_transposed_entry, entries, workers,
+                       work_hint=sparse_touches / max(1, len(entries))))
         return result
 
     def matmul(self, other: "BlockedMatrix",
@@ -320,29 +332,12 @@ class BlockedMatrix:
                 f"{other.rows}x{other.cols}")
         result = BlockedMatrix(self.rows, self.cols, self.block_size)
         keys = list(set(self.blocks) | set(other.blocks))
-
-        def combine(key: tuple[int, int]) -> Block | None:
-            left = self.blocks.get(key)
-            right = other.blocks.get(key)
-            if left is None and right is None:
-                return None
-            if left is None:
-                left = _zero_like(self, key)
-            if right is None:
-                if op_name == "multiply":
-                    return None  # x * 0 == 0
-                if op_name == "divide":
-                    raise ExecutionError(
-                        f"division by an implicit zero block at grid {key}; "
-                        "materializing it would produce inf/nan cells")
-                right = _zero_like(other, key)
-            block = getattr(left, op_name)(right)
-            if block.is_zero():
-                return None
-            return block.normalized()
-
+        # Self-contained task tuples (grid lookups happen here, serially)
+        # so the module-level task function is process-backend shippable.
+        tasks = [(key, self.blocks.get(key), other.blocks.get(key),
+                  self.block_dims(*key), op_name) for key in keys]
         tile_work = (self.nnz + other.nnz) / max(1, len(keys))
-        for key, block in zip(keys, map_blocks(combine, keys, workers,
+        for key, block in zip(keys, map_blocks(_zip_entry, tasks, workers,
                                                work_hint=tile_work)):
             if block is not None:
                 result.blocks[key] = block
@@ -386,15 +381,10 @@ class BlockedMatrix:
                                symmetric=self.symmetric)
         coords = [(bi, bj) for bi in range(self.row_blocks)
                   for bj in range(self.col_blocks)]
-
-        def shifted(key: tuple[int, int]) -> Block:
-            block = self.blocks.get(key)
-            if block is None:
-                block = _zero_like(self, key)
-            return block.add_scalar(scalar)
-
+        tasks = [(self.blocks.get(key), self.block_dims(*key), scalar)
+                 for key in coords]
         tile_work = float(self.rows) * self.cols / max(1, len(coords))
-        for key, block in zip(coords, map_blocks(shifted, coords, workers,
+        for key, block in zip(coords, map_blocks(_shift_entry, tasks, workers,
                                                  work_hint=tile_work)):
             result.blocks[key] = block
         return result
@@ -515,6 +505,41 @@ def _transposed_entry(entry: tuple[tuple[int, int], Block]):
     return (bj, bi), block.transpose()
 
 
+def _zip_entry(task) -> Block | None:
+    """One cell-wise combine task; replicates the serial ``_zip`` rules.
+
+    ``task`` is ``(key, left, right, dims, op_name)`` with either block
+    possibly ``None`` (an implicit all-zero tile). Module-level and
+    self-contained so :func:`~repro.matrix.blockpool.map_blocks` can ship
+    it to worker processes.
+    """
+    key, left, right, dims, op_name = task
+    if left is None and right is None:
+        return None
+    if left is None:
+        left = Block(np.zeros(dims))
+    if right is None:
+        if op_name == "multiply":
+            return None  # x * 0 == 0
+        if op_name == "divide":
+            raise ExecutionError(
+                f"division by an implicit zero block at grid {key}; "
+                "materializing it would produce inf/nan cells")
+        right = Block(np.zeros(dims))
+    block = getattr(left, op_name)(right)
+    if block.is_zero():
+        return None
+    return block.normalized()
+
+
+def _shift_entry(task) -> Block:
+    """One ``add_scalar`` tile task: ``(block_or_none, dims, scalar)``."""
+    block, dims, scalar = task
+    if block is None:
+        block = Block(np.zeros(dims))
+    return block.add_scalar(scalar)
+
+
 def _tile_product(pairs: list[tuple[Block, Block]]) -> Block | None:
     """One output tile: sum of block products, accumulated sparse-aware.
 
@@ -542,8 +567,3 @@ def _tile_product(pairs: list[tuple[Block, Block]]) -> Block | None:
     if tile.is_zero():
         return None
     return tile.normalized()
-
-
-def _zero_like(matrix: BlockedMatrix, key: tuple[int, int]) -> Block:
-    h, w = matrix.block_dims(*key)
-    return Block(np.zeros((h, w)))

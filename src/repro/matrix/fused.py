@@ -29,7 +29,7 @@ import numpy as np
 from ..errors import ExecutionError
 from .block import Block
 from .blocked import BlockedMatrix
-from .blockpool import map_blocks
+from .blockpool import KernelDispatch, map_blocks
 
 ZIP_OPS = ("add", "subtract", "multiply", "divide")
 
@@ -173,7 +173,7 @@ def _root_symmetric(steps: list[Step], leaves: list[BlockedMatrix]) -> bool:
 
 
 def evaluate_fused_ewise(steps: list[Step], leaves: list[BlockedMatrix],
-                         workers: int | None = None
+                         workers: int | KernelDispatch | None = None
                          ) -> tuple[BlockedMatrix, list[int]]:
     """Evaluate a fused element-wise region in one pass per tile.
 
@@ -182,6 +182,13 @@ def evaluate_fused_ewise(steps: list[Step], leaves: list[BlockedMatrix],
     observed total ``nnz`` of every step — the exact intermediate metadata
     the runtime prices the fused operator with, available here for free
     because the single pass visits every intermediate tile anyway.
+
+    ``workers`` accepts a worker count or a full
+    :class:`~repro.matrix.blockpool.KernelDispatch`; the per-tile chain
+    closes over the leaf grids, so a process-backend dispatch runs on the
+    thread pool (shipping whole operand grids per slice would cost more
+    than the GIL saves) — the calibrated gate and batched submission still
+    apply. The ``work_hint`` below follows the cells-per-task contract.
     """
     if not steps or steps[-1].op == "leaf":
         raise ValueError("fused region must end in a non-leaf step")

@@ -8,6 +8,12 @@ evaluate their scalar conditions, bounded by the loop's ``max_iterations``.
 Transposes directly under a multiplication are *fused* (executed
 block-locally inside the multiply, SystemDS-style); only materialized
 transposes pay the distributed re-key shuffle.
+
+Host wall-clock and the simulated clock are decoupled by design: the
+kernels may fan block work out across host threads or worker processes
+(``ClusterConfig.kernel_dispatch()``, docs/architecture.md §10) without
+moving a single simulated nanosecond — the dispatch spec is perf-only and
+every backend/width produces bit-identical values, metrics, and traces.
 """
 
 from __future__ import annotations

@@ -96,10 +96,14 @@ class Kernels:
         self.network = Network(config, self.metrics, recovery=recovery)
         if recovery is not None:
             recovery.bind(self)
-        #: Thread-pool width for block-level kernels (1 = serial seed
-        #: behaviour). Perf-only: values, simulated time, and metrics are
-        #: bit-identical at any width — see ``docs/architecture.md`` §10.
-        self.kernel_workers = config.kernel_workers
+        #: Fan-out spec for block-level kernels — width, thread/process
+        #: backend, and serial/parallel gate, from ``config.kernel_*``
+        #: (width 1 = serial seed behaviour). Perf-only: values, simulated
+        #: time, and metrics are bit-identical under any dispatch — see
+        #: ``docs/architecture.md`` §10. ``map_blocks`` accepts the spec
+        #: anywhere a bare worker count is accepted, so every kernel below
+        #: passes it through unchanged.
+        self.kernel_workers = config.kernel_dispatch()
         #: Optional :class:`~repro.runtime.trace.ExecutionTracer`. Every
         #: hook below is guarded by an ``is None`` check so tracing is
         #: zero-cost when off (no spans allocated, no placement scans).
