@@ -13,6 +13,11 @@ Three commands:
       python -m repro optimize my_script.dml --scalar i --scalar alpha \
           --input "A:10000x100:0.05" --input "x:100x1" --symmetric H ...
 
+* ``serve`` — start the multi-tenant compile/run server (shared plan
+  cache, request coalescing, admission control)::
+
+      python -m repro serve --port 7763 --tenant-quota 8
+
 * ``datasets`` — list the available datasets with their statistics.
 """
 
@@ -153,6 +158,33 @@ def _build_parser() -> argparse.ArgumentParser:
                                    "automatic", "none"])
     optimize.add_argument("--estimator", default="mnc")
 
+    serve = sub.add_parser(
+        "serve", help="start the multi-tenant compile/run server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7763,
+                       help="TCP port (0 = ephemeral)")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="max requests in flight across all tenants")
+    serve.add_argument("--tenant-quota", type=int, default=8,
+                       help="max requests one tenant may have in flight")
+    serve.add_argument("--compile-workers", type=int, default=2,
+                       help="worker threads for the cold-compile stage")
+    serve.add_argument("--execute-workers", type=int, default=2,
+                       help="worker threads for the execute stage")
+    serve.add_argument("--plan-cache-size", type=int, default=256,
+                       help="capacity of the shared compiled-plan cache")
+    serve.add_argument("--engine", default="remac", choices=sorted(ENGINES),
+                       help="engine used when a request names none")
+    serve.add_argument("--no-remote-shutdown", action="store_true",
+                       help="ignore {'op': 'shutdown'} from clients")
+    serve.add_argument("--kernel-workers", type=int, default=None, metavar="W",
+                       help="worker-pool width for block-level execution "
+                            "kernels, shared across all requests "
+                            "(1 = serial, 0 = one worker per CPU)")
+    serve.add_argument("--kernel-backend", default=None,
+                       choices=["thread", "process"],
+                       help="block-kernel fan-out backend")
+
     sub.add_parser("datasets", help="list available datasets")
     return parser
 
@@ -251,6 +283,10 @@ def _command_run(args) -> int:
         print(f"{'plan cache':>15}: {cache_stats['hits']} hits, "
               f"{cache_stats['misses']} misses, "
               f"{cache_stats['evictions']} evictions")
+        if repeat > 1:
+            # Full counter snapshot (PlanCacheStats.as_dict) so repeated
+            # runs expose coalescing alongside hits/misses/evictions.
+            print(f"{'cache stats':>15}: {cache_stats}")
     else:
         print(f"{'plan cache':>15}: disabled")
     if tracer is not None:
@@ -325,6 +361,32 @@ def _command_optimize(args) -> int:
     return 0
 
 
+def _command_serve(args) -> int:
+    from .config import ServerConfig
+    from .server import run_server
+
+    cluster = ClusterConfig()
+    if args.kernel_workers is not None:
+        cluster = replace(cluster, kernel_workers=args.kernel_workers)
+    if args.kernel_backend is not None:
+        cluster = replace(cluster, kernel_backend=args.kernel_backend)
+    config = ServerConfig(
+        host=args.host, port=args.port, max_queue=args.max_queue,
+        tenant_quota=args.tenant_quota,
+        compile_workers=args.compile_workers,
+        execute_workers=args.execute_workers,
+        plan_cache_size=args.plan_cache_size,
+        default_engine=args.engine,
+        allow_remote_shutdown=not args.no_remote_shutdown)
+    stats = run_server(config, cluster)
+    counters = stats.get("counters", {})
+    cache = stats.get("plan_cache", {})
+    print(f"server stopped after {counters.get('completed', 0)} completed / "
+          f"{counters.get('received', 0)} received requests")
+    print(f"plan cache: {cache}")
+    return 0
+
+
 def _command_datasets() -> int:
     rows = []
     for name in ALL_DATASET_NAMES:
@@ -344,6 +406,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_run(args)
     if args.command == "optimize":
         return _command_optimize(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "datasets":
         return _command_datasets()
     return 2  # pragma: no cover

@@ -196,5 +196,64 @@ class OptimizerConfig:
     pricing_workers: int = 1
 
 
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs for the multi-tenant compile/run server (``repro serve``).
+
+    Admission control is two bounds checked before any work is queued:
+    ``max_queue`` caps requests in flight across all tenants (queued or
+    running, both stages), and ``tenant_quota`` caps one tenant's share of
+    it. A request over either bound is rejected immediately with a
+    429-style response carrying ``retry_after_seconds`` — backpressure is
+    explicit, never an unbounded queue. Compile and execute stages run on
+    separate worker pools so cheap plan-cache hits are never stuck behind
+    slow cold compiles.
+    """
+
+    host: str = "127.0.0.1"
+    #: TCP port; 0 binds an ephemeral port (reported once serving).
+    port: int = 7763
+    #: Max requests admitted concurrently across all tenants.
+    max_queue: int = 64
+    #: Max requests one tenant may have in flight at once.
+    tenant_quota: int = 8
+    #: Worker threads for the cold-compile stage.
+    compile_workers: int = 2
+    #: Worker threads for the execute stage.
+    execute_workers: int = 2
+    #: Suggested client back-off carried by rejection responses.
+    retry_after_seconds: float = 0.05
+    #: Engine used when a request names none.
+    default_engine: str = "remac"
+    #: Capacity of the process-wide shared plan cache.
+    plan_cache_size: int = 256
+    #: Honour ``{"op": "shutdown"}`` from clients (local tooling default).
+    allow_remote_shutdown: bool = True
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.port <= 65535):
+            raise ConfigError(f"port must be in [0, 65535], got {self.port}")
+        if self.max_queue < 1:
+            raise ConfigError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.tenant_quota < 1:
+            raise ConfigError(
+                f"tenant_quota must be >= 1, got {self.tenant_quota}")
+        if self.tenant_quota > self.max_queue:
+            raise ConfigError(
+                f"tenant_quota ({self.tenant_quota}) cannot exceed "
+                f"max_queue ({self.max_queue})")
+        for name in ("compile_workers", "execute_workers"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ConfigError(f"{name} must be >= 1, got {value}")
+        if not self.retry_after_seconds >= 0.0:  # rejects NaN
+            raise ConfigError(
+                f"retry_after_seconds must be >= 0, "
+                f"got {self.retry_after_seconds}")
+        if self.plan_cache_size < 1:
+            raise ConfigError(
+                f"plan_cache_size must be >= 1, got {self.plan_cache_size}")
+
+
 DEFAULT_CLUSTER = ClusterConfig()
 DEFAULT_OPTIMIZER = OptimizerConfig()

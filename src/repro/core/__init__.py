@@ -9,6 +9,7 @@ from .optimizer import ReMacOptimizer
 from .parallel import parallel_map, resolve_workers
 from .plancache import (
     DataTokens,
+    InputSketchMemo,
     PlanCache,
     PlanCacheStats,
     plan_fingerprint,
@@ -42,7 +43,8 @@ __all__ = [
     "EnumResult", "enumerate_combinations",
     "normalize", "push_down_transposes", "expand_distributive",
     "ReMacOptimizer",
-    "DataTokens", "PlanCache", "PlanCacheStats", "plan_fingerprint",
+    "DataTokens", "InputSketchMemo", "PlanCache", "PlanCacheStats",
+    "plan_fingerprint",
     "parallel_map", "resolve_workers",
     "CSE", "LSE", "EliminationOption", "Occurrence",
     "options_contradict", "conflict_free", "count_contradictions",

@@ -19,6 +19,7 @@ engines.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import replace
 
@@ -31,13 +32,26 @@ from ..runtime.plan import CompiledProgram
 from .chains import build_chains
 from .cost.evaluate import ProgramCostEvaluator, sketch_inputs
 from .cost.model import CostModel
-from .plancache import PlanCache, plan_fingerprint
+from .plancache import (DataTokens, InputSketchMemo, PlanCache,
+                        plan_fingerprint)
 from .rewrite import rewrite_program
 from .search import blockwise_search, explicit_cse_options
 from .sparsity import make_estimator
 from .spores import spores_search
 from .strategies import choose_options
 from .treewise import treewise_search
+
+
+class _InflightCompile:
+    """One cold compile in progress: followers wait instead of racing it."""
+
+    __slots__ = ("event", "result", "error", "followers")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: CompiledProgram | None = None
+        self.error: BaseException | None = None
+        self.followers = 0
 
 
 class ReMacOptimizer:
@@ -49,25 +63,94 @@ class ReMacOptimizer:
     operator pricing and an optional candidate-pricing thread pool on the
     cold path. All three layers are perf-only: with them disabled or
     enabled, the chosen plans and predicted costs are identical.
+
+    The optimizer is safe to share across threads (the serving deployment:
+    one warm optimizer, N tenants). Concurrent compiles of the *same*
+    fingerprint are single-flighted: the first caller runs the cold
+    pipeline, every concurrent duplicate blocks on its result and is
+    counted as ``coalesced`` — so N simultaneous submissions of one
+    workload cost exactly one compile. A shared :class:`InputSketchMemo`
+    additionally lets *near-miss* compiles (same resident inputs, different
+    program) skip re-sketching the data.
+
+    ``plan_cache`` optionally injects an existing (typically process-wide,
+    shared across engines) cache instead of building a private one;
+    fingerprints embed the cluster, config, and policy, so distinct engines
+    can never collide in a shared cache.
     """
 
     def __init__(self, cluster: ClusterConfig | None = None,
                  config: OptimizerConfig | None = None,
-                 policy: ExecutionPolicy | None = None):
+                 policy: ExecutionPolicy | None = None,
+                 plan_cache: PlanCache | None = None):
         self.cluster = cluster or ClusterConfig()
         self.config = config or OptimizerConfig()
         self.policy = policy or ExecutionPolicy.systemds()
         #: Compiled-plan LRU (None when disabled via config.plan_cache).
-        self.plan_cache: PlanCache | None = \
-            PlanCache(self.config.plan_cache_size) if self.config.plan_cache \
-            else None
+        self.plan_cache: PlanCache | None = plan_cache if plan_cache is not None \
+            else (PlanCache(self.config.plan_cache_size)
+                  if self.config.plan_cache else None)
+        #: Cross-compile input-sketch memo (shared state like the cache).
+        self.sketch_memo = InputSketchMemo()
+        self._own_tokens = DataTokens()
+        self._inflight: dict[str, _InflightCompile] = {}
+        self._inflight_lock = threading.Lock()
 
     @property
     def plan_cache_stats(self) -> dict[str, int] | None:
-        """Hit/miss/eviction counters, or None when the cache is disabled."""
+        """Hit/miss/eviction/coalesce counters, or None when disabled."""
         if self.plan_cache is None:
             return None
-        return self.plan_cache.stats.as_dict()
+        return self.plan_cache.stats_dict()
+
+    def adopt_plan_cache(self, cache: PlanCache | None) -> "ReMacOptimizer":
+        """Swap in a (shared) plan cache; returns self for chaining."""
+        self.plan_cache = cache
+        return self
+
+    @property
+    def _data_tokens(self) -> DataTokens:
+        """Identity tokens for bound input data (cache's registry when on)."""
+        if self.plan_cache is not None:
+            return self.plan_cache.data_tokens
+        return self._own_tokens
+
+    def _fingerprint(self, program: Program, inputs: Environment,
+                     input_data: dict | None, iterations: int | None) -> str:
+        return plan_fingerprint(
+            program, inputs, self.config, self.cluster, self.policy,
+            iterations=iterations, input_data=input_data,
+            tokens=self._data_tokens)
+
+    def _warm_copy(self, hit: CompiledProgram, outcome: str,
+                   started: float) -> CompiledProgram:
+        """A cached plan re-badged for one caller (hit or coalesced)."""
+        notes = dict(hit.notes)
+        notes["plan_cache"] = outcome
+        notes["plan_cache_stats"] = self.plan_cache.stats_dict()
+        # A warm compile re-collects no estimator statistics.
+        notes["stats_collection_seconds"] = 0.0
+        return replace(hit, notes=notes,
+                       compile_seconds=time.perf_counter() - started)
+
+    def cached_plan(self, program: Program, inputs: Environment,
+                    input_data: dict | None = None,
+                    iterations: int | None = None) -> CompiledProgram | None:
+        """The cached plan for this exact compile, or None — never compiles.
+
+        The server's admission path uses this cheap probe to route warm
+        requests straight to execution instead of queueing them behind
+        slow cold compiles. A present plan counts as a hit; absence counts
+        nothing (the eventual ``compile()`` will record the miss).
+        """
+        if self.plan_cache is None:
+            return None
+        started = time.perf_counter()
+        key = self._fingerprint(program, inputs, input_data, iterations)
+        hit = self.plan_cache.probe(key)
+        if hit is None:
+            return None
+        return self._warm_copy(hit, "hit", started)
 
     def compile(self, program: Program, inputs: Environment,
                 input_data: dict | None = None,
@@ -79,27 +162,48 @@ class ReMacOptimizer:
         sampling, density map) can sketch real structure.
         """
         started = time.perf_counter()
-        cache_key = None
-        if self.plan_cache is not None:
-            cache_key = plan_fingerprint(
-                program, inputs, self.config, self.cluster, self.policy,
-                iterations=iterations, input_data=input_data,
-                tokens=self.plan_cache.data_tokens)
-            hit = self.plan_cache.get(cache_key)
-            if hit is not None:
-                notes = dict(hit.notes)
-                notes["plan_cache"] = "hit"
-                notes["plan_cache_stats"] = self.plan_cache.stats.as_dict()
-                # A warm compile re-collects no estimator statistics.
-                notes["stats_collection_seconds"] = 0.0
-                return replace(hit, notes=notes,
-                               compile_seconds=time.perf_counter() - started)
-        compiled = self._compile_cold(program, inputs, input_data, iterations,
+        if self.plan_cache is None:
+            return self._compile_cold(program, inputs, input_data, iterations,
                                       started)
-        if self.plan_cache is not None:
-            self.plan_cache.put(cache_key, compiled)
-            compiled.notes["plan_cache"] = "miss"
-            compiled.notes["plan_cache_stats"] = self.plan_cache.stats.as_dict()
+        cache_key = self._fingerprint(program, inputs, input_data, iterations)
+        # Single-flight: under one lock, either find the plan, join an
+        # in-flight compile of the same fingerprint, or become the leader.
+        with self._inflight_lock:
+            hit = self.plan_cache.probe(cache_key)
+            if hit is None:
+                record = self._inflight.get(cache_key)
+                if record is None:
+                    record = _InflightCompile()
+                    self._inflight[cache_key] = record
+                    self.plan_cache.note_miss()
+                    leader = True
+                else:
+                    record.followers += 1
+                    self.plan_cache.note_coalesced()
+                    leader = False
+        if hit is not None:
+            return self._warm_copy(hit, "hit", started)
+        if not leader:
+            record.event.wait()
+            if record.error is not None:
+                raise record.error
+            return self._warm_copy(record.result, "coalesced", started)
+        try:
+            compiled = self._compile_cold(program, inputs, input_data,
+                                          iterations, started)
+        except BaseException as error:
+            with self._inflight_lock:
+                self._inflight.pop(cache_key, None)
+            record.error = error
+            record.event.set()
+            raise
+        self.plan_cache.put(cache_key, compiled)
+        with self._inflight_lock:
+            self._inflight.pop(cache_key, None)
+        record.result = compiled
+        record.event.set()
+        compiled.notes["plan_cache"] = "miss"
+        compiled.notes["plan_cache_stats"] = self.plan_cache.stats_dict()
         return compiled
 
     def _compile_cold(self, program: Program, inputs: Environment,
@@ -115,7 +219,7 @@ class ReMacOptimizer:
             estimator = CalibratedEstimator(estimator, self.config.calibration)
         model = CostModel(self.cluster, estimator, self.policy,
                           memoize=self.config.cost_memo)
-        sketches = sketch_inputs(model, inputs, input_data)
+        sketches = self._sketch_inputs(model, inputs, input_data)
 
         # Adaptive elimination iterates to a fixpoint: once an option is
         # applied, its temporary's defining chain can expose follow-up
@@ -188,6 +292,36 @@ class ReMacOptimizer:
                 "fusion": fusion_notes,
                 **search_notes,
             })
+
+    # ------------------------------------------------------------------
+    def _sketch_inputs(self, model, inputs: Environment,
+                       input_data: dict | None) -> dict:
+        """Sketch program inputs through the cross-compile memo.
+
+        Keys mirror the fingerprint's input lines — estimator name, data
+        identity token, metadata, symmetric flag — so a memo hit is exactly
+        a re-sketch of data the optimizer has already sketched. Memo hits
+        skip statistics collection (the model never sees the input), the
+        same accounting a plan-cache hit reports. Calibrated compiles
+        (mid-run replanning) bypass the memo: calibration overrides
+        propagation from observations, so their sketches must be rebuilt.
+        """
+        if self.config.calibration is not None:
+            return sketch_inputs(model, inputs, input_data)
+        data = input_data or {}
+        tokens = self._data_tokens
+        sketches: dict = {}
+        for name, meta in inputs.items():
+            symmetric = getattr(meta, "symmetric", False)
+            key = (self.config.estimator, tokens.token(data.get(name)),
+                   meta, symmetric)
+            sketch = self.sketch_memo.lookup(key)
+            if sketch is None:
+                sketch = model.sketch_of(data.get(name), meta,
+                                         symmetric=symmetric)
+                self.sketch_memo.store(key, sketch)
+            sketches[name] = sketch
+        return sketches
 
     # ------------------------------------------------------------------
     def _search(self, chains):

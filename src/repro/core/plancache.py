@@ -28,12 +28,21 @@ on:
 
 Anything that could change the chosen plan or its predicted cost changes
 the fingerprint; anything that could not, does not. Eviction is LRU with
-hit/miss/eviction counters surfaced in compile notes and the CLI.
+hit/miss/eviction/coalesce counters surfaced in compile notes and the CLI.
+
+The cache is safe under concurrent access: the LRU dict, the counters,
+and the token registry are guarded by locks so many serving threads can
+compile against one process-wide cache (the optimizer-as-a-service
+deployment, docs/architecture.md §14). Single-flight deduplication of
+concurrent cold compiles lives one level up, in
+:meth:`repro.core.optimizer.ReMacOptimizer.compile`, which reports
+followers through the ``coalesced`` counter here.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, fields
@@ -79,6 +88,11 @@ class DataTokens:
     def __init__(self) -> None:
         self._by_id: dict[int, tuple] = {}
         self._serial = 0
+        # Fingerprinting runs concurrently in a multi-tenant server, and
+        # token handout is a read-modify-write of the registry. Reentrant
+        # because the weakref purge callback can fire from a GC triggered
+        # inside the locked region.
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         """Number of registered (live or not-yet-purged) entries."""
@@ -99,19 +113,20 @@ class DataTokens:
         if isinstance(value, (bool, int, float)):
             return f"scalar:{value!r}"
         key = id(value)
-        entry = self._by_id.get(key)
-        if entry is not None:
-            ref, token = entry
-            if ref() is value:
-                return token
-        self._serial += 1
-        token = f"obj:{self._serial}"
-        try:
-            ref = weakref.ref(value, self._purger(key))
-        except TypeError:  # not weak-referenceable: never cache-hit on it
-            return f"anon:{self._serial}"
-        self._by_id[key] = (ref, token)
-        return token
+        with self._lock:
+            entry = self._by_id.get(key)
+            if entry is not None:
+                ref, token = entry
+                if ref() is value:
+                    return token
+            self._serial += 1
+            token = f"obj:{self._serial}"
+            try:
+                ref = weakref.ref(value, self._purger(key))
+            except TypeError:  # not weak-referenceable: never cache-hit on it
+                return f"anon:{self._serial}"
+            self._by_id[key] = (ref, token)
+            return token
 
     def _purger(self, key: int):
         """Callback dropping ``key`` when its referent is collected.
@@ -120,9 +135,10 @@ class DataTokens:
         object with the recycled id may already own the slot.
         """
         def purge(ref) -> None:
-            entry = self._by_id.get(key)
-            if entry is not None and entry[0] is ref:
-                del self._by_id[key]
+            with self._lock:
+                entry = self._by_id.get(key)
+                if entry is not None and entry[0] is ref:
+                    del self._by_id[key]
         return purge
 
 
@@ -170,19 +186,30 @@ def plan_fingerprint(program: Program, inputs: dict,
 
 @dataclass
 class PlanCacheStats:
-    """Hit/miss/eviction counters of one plan cache."""
+    """Hit/miss/eviction/coalesce counters of one plan cache.
+
+    ``coalesced`` counts compiles that joined another caller's in-flight
+    cold compile of the same fingerprint (single-flight dedup) instead of
+    racing it: every submission is exactly one of hit, miss, or coalesced.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    coalesced: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions}
+                "evictions": self.evictions, "coalesced": self.coalesced}
 
 
 class PlanCache:
-    """LRU cache of :class:`CompiledProgram` keyed by plan fingerprint."""
+    """LRU cache of :class:`CompiledProgram` keyed by plan fingerprint.
+
+    Safe under concurrent access: lookups, insertion, eviction, and every
+    counter update happen under one lock, so a process-wide cache can be
+    shared by all of a server's compile threads.
+    """
 
     def __init__(self, maxsize: int = 64):
         if maxsize <= 0:
@@ -191,27 +218,116 @@ class PlanCache:
         self.stats = PlanCacheStats()
         self.data_tokens = DataTokens()
         self._entries: OrderedDict[str, CompiledProgram] = OrderedDict()
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: str) -> CompiledProgram | None:
-        entry = self._entries.get(key)
-        if entry is None:
+        """Counting lookup: records a hit or a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def probe(self, key: str) -> CompiledProgram | None:
+        """Lookup that records a hit when present but is silent on absence.
+
+        The single-flight compile path uses this so a miss is counted only
+        by the one caller that actually runs the cold compile — followers
+        of an in-flight compile count as ``coalesced`` instead.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def note_miss(self) -> None:
+        """Record one miss (the caller is about to compile cold)."""
+        with self._lock:
             self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry
+
+    def note_coalesced(self) -> None:
+        """Record one coalesced submission (joined an in-flight compile)."""
+        with self._lock:
+            self.stats.coalesced += 1
+
+    def stats_dict(self) -> dict[str, int]:
+        """A consistent snapshot of the counters."""
+        with self._lock:
+            return self.stats.as_dict()
 
     def put(self, key: str, compiled: CompiledProgram) -> None:
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = compiled
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = compiled
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def clear(self) -> None:
         """Drop all entries (counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+
+
+class InputSketchMemo:
+    """Cross-compile memo of input sketches, shared like the plan cache.
+
+    A cold compile's dominant data-dependent cost is sketching the bound
+    inputs (MNC/density-map/sampling statistics over the actual matrices).
+    In the serving deployment many *near-miss* compiles — same resident
+    dataset, different program or iteration budget — re-sketch identical
+    inputs, so the optimizer keeps this memo beside its plan cache, keyed
+    by the same identity tokens fingerprints use: ``(estimator name, data
+    token, metadata, symmetric flag)``. Sketches are immutable value
+    objects and sketching is pure, so sharing the object is perf-only; a
+    memo hit genuinely skips statistics collection, mirroring how a plan
+    cache hit reports ``stats_collection_seconds == 0``. Calibrated
+    (replanning) compiles bypass the memo entirely — calibration rewrites
+    sketches from observations. Bounded LRU, lock-guarded.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def lookup(self, key: tuple):
+        """The memoized sketch for ``key``, or None (counts hit/miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def store(self, key: tuple, sketch) -> None:
+        with self._lock:
+            self._entries[key] = sketch
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def as_dict(self) -> dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "entries": len(self._entries)}

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..config import ClusterConfig
 from .base import Engine, RunResult
+from .session import Session
 from .pbdr import PbdREngine
 from .remac import (AggressiveEngine, AutomaticEngine, ConservativeEngine,
                     ReMacEngine, ReMacOnPbdREngine, ReMacOnSciDBEngine)
@@ -38,7 +39,7 @@ def make_engine(name: str, cluster: ClusterConfig | None = None, **kwargs) -> En
 
 
 __all__ = [
-    "Engine", "RunResult", "make_engine", "ENGINES",
+    "Engine", "RunResult", "Session", "make_engine", "ENGINES",
     "ReMacEngine", "ConservativeEngine", "AggressiveEngine", "AutomaticEngine",
     "ReMacOnPbdREngine", "ReMacOnSciDBEngine",
     "SystemDSEngine", "SystemDSStarEngine",

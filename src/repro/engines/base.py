@@ -47,11 +47,27 @@ class RunResult:
 
     def value(self, name: str):
         """NumPy array of a result variable."""
-        return self.env[name].matrix.to_numpy()
+        try:
+            entry = self.env[name]
+        except KeyError:
+            available = ", ".join(sorted(self.env)) or "(none)"
+            raise KeyError(
+                f"no result variable {name!r} in this {self.engine} run; "
+                f"available result variables: {available}") from None
+        return entry.matrix.to_numpy()
 
 
 class Engine:
-    """One configured system: optimizer settings + execution policy."""
+    """One configured system: optimizer settings + execution policy.
+
+    An ``Engine`` is the *shared, warm* half of a run: the optimizer (with
+    its plan cache and sketch memo) and the cluster/policy configuration
+    persist across requests, while every :meth:`execute` builds a fresh
+    :class:`~repro.runtime.executor.Executor` whose metrics, volumes, and
+    environment are private to that request. :meth:`session` hands out
+    per-tenant :class:`~repro.engines.session.Session` views onto this
+    shared state — the serving layer's unit of isolation.
+    """
 
     name = "engine"
 
@@ -63,6 +79,7 @@ class Engine:
         self.policy = policy or ExecutionPolicy.systemds()
         self.optimizer_config = optimizer_config or OptimizerConfig()
         self.optimize = optimize
+        self._shared_plan_cache = None
         self._optimizer = ReMacOptimizer(cluster, self.optimizer_config, self.policy)
 
     @property
@@ -70,6 +87,23 @@ class Engine:
         """The engine's optimizer (shared across runs, so its plan cache
         warms over repeated compiles of the same workload)."""
         return self._optimizer
+
+    def adopt_plan_cache(self, cache) -> "Engine":
+        """Share a (typically process-wide) plan cache with this engine.
+
+        The cache survives :meth:`with_fusion` optimizer rebuilds, so a
+        server can hand every engine the same cache once; fingerprints
+        embed the policy and config, so entries never leak across engines.
+        Returns ``self`` for chaining.
+        """
+        self._shared_plan_cache = cache
+        self._optimizer.adopt_plan_cache(cache)
+        return self
+
+    def session(self, tenant: str = "default"):
+        """A per-tenant :class:`~repro.engines.session.Session` view."""
+        from .session import Session
+        return Session(self, tenant=tenant)
 
     def with_fusion(self, fuse: bool) -> "Engine":
         """Toggle cost-priced operator fusion on this engine, in place.
@@ -85,13 +119,23 @@ class Engine:
             return self
         self.policy = dc_replace(self.policy, fuse=fuse)
         self._optimizer = ReMacOptimizer(self.cluster, self.optimizer_config,
-                                         self.policy)
+                                         self.policy,
+                                         plan_cache=self._shared_plan_cache)
         return self
 
     def compile(self, program: Program, inputs: Environment,
                 input_data: dict | None = None,
                 iterations: int | None = None) -> CompiledProgram:
         return self._optimizer.compile(program, inputs, input_data, iterations)
+
+    def cached_plan(self, program: Program, inputs: Environment,
+                    input_data: dict | None = None,
+                    iterations: int | None = None) -> CompiledProgram | None:
+        """The already-cached plan for this compile, or None (no compile)."""
+        if not self.optimize:
+            return None
+        return self._optimizer.cached_plan(program, inputs, input_data,
+                                           iterations)
 
     def run(self, program: Program, inputs: Environment, input_data: dict,
             symmetric: set[str] | frozenset[str] = frozenset(),
@@ -128,6 +172,31 @@ class Engine:
             compiled = self.compile(program, inputs, input_data, iterations)
             compile_wall = time.perf_counter() - started
             to_execute = compiled
+        return self.execute(to_execute, input_data, symmetric=symmetric,
+                            charge_partition=charge_partition, tracer=tracer,
+                            fault_plan=fault_plan,
+                            recovery_config=recovery_config,
+                            replanner=replanner,
+                            compile_wall_seconds=compile_wall)
+
+    def execute(self, to_execute: Program | CompiledProgram, input_data: dict,
+                symmetric: set[str] | frozenset[str] = frozenset(),
+                charge_partition: bool = False,
+                tracer=None, fault_plan=None, recovery_config=None,
+                replanner=None,
+                compile_wall_seconds: float = 0.0) -> RunResult:
+        """Execute an already-compiled plan (or raw program) per request.
+
+        The per-request half of :meth:`run`: a fresh
+        :class:`~repro.runtime.executor.Executor` with private metrics and
+        volumes is built for each call, so concurrent executions of shared
+        compiled plans never interfere — the serving layer calls this
+        directly with plans obtained from the shared (warm) compile stage.
+        ``compile_wall_seconds`` charges the caller's real compile time to
+        the simulated compilation phase, as :meth:`run` always did.
+        """
+        compiled = to_execute if isinstance(to_execute, CompiledProgram) \
+            else None
         executor = Executor(self.cluster, self.policy, tracer=tracer,
                             fault_plan=fault_plan,
                             recovery_config=recovery_config,
@@ -135,7 +204,7 @@ class Engine:
         # Compilation happens on the driver in real time; fold the real wall
         # seconds plus any simulated statistics collection into the
         # simulated compilation phase so Fig. 12-style breakdowns add up.
-        executor.metrics.charge_compilation(compile_wall)
+        executor.metrics.charge_compilation(compile_wall_seconds)
         if compiled is not None:
             executor.metrics.charge_compilation(
                 compiled.notes.get("stats_collection_seconds", 0.0))
@@ -145,5 +214,6 @@ class Engine:
         if replanner is not None:
             notes["replan"] = replanner.metrics_summary()
         return RunResult(engine=self.name, env=env, metrics=executor.metrics,
-                         compiled=compiled, compile_wall_seconds=compile_wall,
+                         compiled=compiled,
+                         compile_wall_seconds=compile_wall_seconds,
                          notes=notes)

@@ -1,0 +1,25 @@
+"""Optimizer-as-a-service: a multi-tenant compile/run server.
+
+The serving layer (docs/architecture.md §14) keeps one warm optimizer
+per engine configuration resident in a long-lived process and multiplexes
+tenants onto it: a process-wide plan cache with single-flight request
+coalescing, admission control with per-tenant quotas, and decoupled
+compile/execute stages so cache hits are never queued behind cold
+compiles. Start it with ``python -m repro serve``; drive it with
+:class:`~repro.server.client.ServerClient` or the load generator in
+``benchmarks/bench_serving_throughput.py``.
+"""
+
+from __future__ import annotations
+
+from .client import ServerClient
+from .net import ServerHandle, run_server
+from .protocol import (ProtocolError, Request, array_digest, decode_array,
+                       digest_result, encode_array, parse_request)
+from .service import OptimizerService
+
+__all__ = [
+    "OptimizerService", "ProtocolError", "Request", "ServerClient",
+    "ServerHandle", "array_digest", "decode_array", "digest_result",
+    "encode_array", "parse_request", "run_server",
+]

@@ -1,0 +1,88 @@
+"""Blocking JSON-lines client for the compile/run server (stdlib only).
+
+One socket, one request/response at a time. Thread-unsafe by design:
+the load generator and tests open one :class:`ServerClient` per worker
+thread, which is also how the server's admission control sees concurrent
+tenants.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+
+class ServerClient:
+    """A synchronous connection to a running ``repro serve`` instance."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7763,
+                 timeout: float = 120.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._writer = self._sock.makefile("wb")
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def request(self, payload: dict) -> dict:
+        """Send one request object; block for and return its response."""
+        if "id" not in payload:
+            self._counter += 1
+            payload = {**payload, "id": self._counter}
+        self._writer.write(json.dumps(payload).encode() + b"\n")
+        self._writer.flush()
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    # Convenience wrappers ------------------------------------------------
+    def run(self, algorithm: str = "dfp", dataset: str = "cri1", *,
+            tenant: str = "anonymous", scale: float = 0.5,
+            iterations: int = 10, engine: str | None = None,
+            outputs=(), return_values: bool = False) -> dict:
+        payload = {"op": "run", "tenant": tenant, "algorithm": algorithm,
+                   "dataset": dataset, "scale": scale,
+                   "iterations": iterations,
+                   "return_values": return_values}
+        if engine is not None:
+            payload["engine"] = engine
+        if outputs:
+            payload["outputs"] = list(outputs)
+        return self.request(payload)
+
+    def optimize(self, algorithm: str = "dfp", dataset: str = "cri1", *,
+                 tenant: str = "anonymous", scale: float = 0.5,
+                 iterations: int = 10, engine: str | None = None) -> dict:
+        payload = {"op": "optimize", "tenant": tenant,
+                   "algorithm": algorithm, "dataset": dataset,
+                   "scale": scale, "iterations": iterations}
+        if engine is not None:
+            payload["engine"] = engine
+        return self.request(payload)
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["stats"]
+
+    def ping(self) -> bool:
+        return self.request({"op": "ping"}).get("status") == "ok"
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        for stream in (self._writer, self._reader):
+            try:
+                stream.close()
+            except OSError:
+                pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,211 @@
+"""Asyncio TCP front end for the compile/run service: JSON lines, stdlib only.
+
+:func:`run_server` is the blocking CLI entry point (``python -m repro
+serve``); :class:`ServerHandle` hosts the same server on a daemon thread
+with its own event loop for tests and the load generator, exposing the
+bound port and a threadsafe :meth:`~ServerHandle.stop` that returns the
+final stats snapshot (the "clean shutdown" evidence the CI smoke asserts).
+
+The handler itself is one readline loop per connection: decode a line,
+``await service.submit``, write the response line. Concurrency comes from
+asyncio multiplexing connections while the service's worker pools run the
+compile/execute stages; malformed JSON yields an error response on that
+line and the connection stays usable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+from ..config import ClusterConfig, ServerConfig
+from .service import OptimizerService
+
+#: Generous per-line cap; requests are small JSON objects, responses with
+#: ``return_values`` can carry megabytes of base64 payload.
+_LINE_LIMIT = 64 * 1024 * 1024
+
+
+class _ServerCore:
+    """One service + one asyncio server + a stop event, loop-agnostic."""
+
+    def __init__(self, config: ServerConfig | None = None,
+                 cluster: ClusterConfig | None = None):
+        self.config = config or ServerConfig()
+        self.service = OptimizerService(self.config, cluster)
+        self.stop_event: asyncio.Event | None = None
+        self.server: asyncio.Server | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+        self._handlers: set[asyncio.Task] = set()
+
+    async def _track(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        """Register the per-connection task so shutdown can reap it."""
+        task = asyncio.current_task()
+        self._handlers.add(task)
+        try:
+            await self._handle(reader, writer)
+        finally:
+            self._handlers.discard(task)
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(_encode({"status": "error",
+                                          "error": "request line too long"}))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                text = line.strip()
+                if not text:
+                    continue
+                try:
+                    payload = json.loads(text)
+                except json.JSONDecodeError as error:
+                    payload = None
+                    response = {"id": None, "status": "error",
+                                "error": f"invalid JSON: {error}"}
+                else:
+                    response = await self.service.submit(payload)
+                writer.write(_encode(response))
+                await writer.drain()
+                if isinstance(payload, dict) and payload.get("op") == "shutdown" \
+                        and response.get("status") == "ok" \
+                        and self.config.allow_remote_shutdown:
+                    self.stop_event.set()
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client vanished mid-response; nothing to salvage
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def serve(self, ready: threading.Event | None = None) -> dict:
+        """Serve until the stop event fires; returns the final stats."""
+        self.stop_event = asyncio.Event()
+        self.server = await asyncio.start_server(
+            self._track, self.config.host, self.config.port,
+            limit=_LINE_LIMIT)
+        sockname = self.server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        if ready is not None:
+            ready.set()
+        try:
+            async with self.server:
+                await self.stop_event.wait()
+        finally:
+            # Reap connections still parked on readline so the loop can
+            # close without leaking pending handler tasks.
+            self.server.close()
+            await self.server.wait_closed()
+            for task in list(self._handlers):
+                task.cancel()
+            if self._handlers:
+                await asyncio.gather(*self._handlers,
+                                     return_exceptions=True)
+            stats = self.service.stats()
+            self.service.close()
+        return stats
+
+
+def _encode(response: dict) -> bytes:
+    return (json.dumps(response, separators=(",", ":")) + "\n").encode()
+
+
+def run_server(config: ServerConfig | None = None,
+               cluster: ClusterConfig | None = None,
+               announce=print) -> dict:
+    """Blocking serve loop for the CLI; returns final stats on shutdown."""
+    core = _ServerCore(config, cluster)
+
+    async def _main() -> dict:
+        task = asyncio.ensure_future(core.serve())
+        # Yield once so serve() binds the socket before we announce.
+        while core.port is None and not task.done():
+            await asyncio.sleep(0.01)
+        if core.port is not None and announce is not None:
+            announce(f"repro server listening on {core.host}:{core.port} "
+                     f"(max_queue={core.config.max_queue}, "
+                     f"tenant_quota={core.config.tenant_quota})")
+        return await task
+
+    try:
+        return asyncio.run(_main())
+    except KeyboardInterrupt:
+        # asyncio.run cancelled serve(); pools may still need teardown.
+        core.service.close()
+        return core.service.stats()
+
+
+class ServerHandle:
+    """A live server on a background daemon thread (tests, benchmarks).
+
+    Usage::
+
+        with ServerHandle(config) as handle:
+            client = ServerClient(handle.host, handle.port)
+            ...
+        stats = handle.final_stats  # populated after stop()
+    """
+
+    def __init__(self, config: ServerConfig | None = None,
+                 cluster: ClusterConfig | None = None):
+        if config is None:
+            config = ServerConfig(port=0)  # ephemeral port by default
+        self._core = _ServerCore(config, cluster)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-server")
+        self.final_stats: dict | None = None
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("server failed to start within 30s")
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self.final_stats = self._loop.run_until_complete(
+                self._core.serve(self._ready))
+        finally:
+            self._loop.close()
+            self._ready.set()  # unblock waiters even on startup failure
+
+    @property
+    def host(self) -> str:
+        return self._core.host
+
+    @property
+    def port(self) -> int:
+        return self._core.port
+
+    @property
+    def service(self) -> "OptimizerService":
+        return self._core.service
+
+    def stop(self, timeout: float = 30.0) -> dict | None:
+        """Stop serving, join the thread, return the final stats snapshot."""
+        if self._thread.is_alive() and self._loop is not None \
+                and self._core.stop_event is not None:
+            self._loop.call_soon_threadsafe(self._core.stop_event.set)
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("server thread did not stop cleanly")
+        return self.final_stats
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,155 @@
+"""Wire protocol of the compile/run server: JSON lines, stdlib only.
+
+One request per line, one response per line, UTF-8 JSON. Requests carry an
+``op`` (``run`` — the default — ``optimize``, ``stats``, ``ping``, or
+``shutdown``), a ``tenant`` label for admission accounting, and a workload
+named the same way the CLI names one: ``algorithm`` + ``dataset`` (+
+``scale``, ``iterations``). Responses echo the request ``id`` and carry a
+``status``: ``ok``, ``rejected`` (admission control; includes
+``retry_after``), or ``error`` (bad request or failed execution).
+
+Result matrices travel as canonical little-endian C-order bytes: every
+output always reports a SHA-256 digest over ``dtype | shape | bytes``
+(the bit-identity invariant is *checkable from the response alone*), and
+``return_values: true`` additionally inlines the base64 payload so a
+client can reconstruct the exact array. :func:`array_digest` /
+:func:`digest_result` are shared with the tests that pin server results
+against a direct ``Engine.run``.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..algorithms import ALGORITHMS
+from ..data import ALL_DATASET_NAMES
+from ..engines import ENGINES
+
+#: Operations a request may name.
+OPS = ("run", "optimize", "stats", "ping", "shutdown")
+
+
+class ProtocolError(ValueError):
+    """A request that cannot be admitted: malformed or unknown fields."""
+
+
+@dataclass
+class Request:
+    """One parsed client submission."""
+
+    op: str = "run"
+    id: object = None
+    tenant: str = "anonymous"
+    engine: str | None = None
+    algorithm: str = "dfp"
+    dataset: str = "cri1"
+    scale: float = 0.5
+    iterations: int = 10
+    outputs: tuple[str, ...] = ()
+    return_values: bool = False
+    raw: dict = field(default_factory=dict, repr=False)
+
+
+def parse_request(payload: object) -> Request:
+    """Validate one decoded JSON payload into a :class:`Request`."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"request must be a JSON object, "
+                            f"got {type(payload).__name__}")
+    op = payload.get("op", "run")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; expected one of {OPS}")
+    request = Request(op=op, id=payload.get("id"), raw=payload)
+    tenant = payload.get("tenant", "anonymous")
+    if not isinstance(tenant, str) or not tenant:
+        raise ProtocolError(f"tenant must be a non-empty string, got {tenant!r}")
+    request.tenant = tenant
+    if op in ("stats", "ping", "shutdown"):
+        return request
+
+    engine = payload.get("engine")
+    if engine is not None and engine not in ENGINES:
+        raise ProtocolError(f"unknown engine {engine!r}; "
+                            f"known: {', '.join(sorted(ENGINES))}")
+    request.engine = engine
+    algorithm = payload.get("algorithm", "dfp")
+    if algorithm not in ALGORITHMS:
+        raise ProtocolError(f"unknown algorithm {algorithm!r}; "
+                            f"known: {', '.join(sorted(ALGORITHMS))}")
+    request.algorithm = algorithm
+    dataset = payload.get("dataset", "cri1")
+    if dataset not in ALL_DATASET_NAMES:
+        raise ProtocolError(f"unknown dataset {dataset!r}; "
+                            f"known: {', '.join(ALL_DATASET_NAMES)}")
+    request.dataset = dataset
+    try:
+        request.scale = float(payload.get("scale", 0.5))
+        request.iterations = int(payload.get("iterations", 10))
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(f"bad scale/iterations: {error}") from None
+    if not 0.0 < request.scale <= 4.0:
+        raise ProtocolError(f"scale must be in (0, 4], got {request.scale}")
+    if not 1 <= request.iterations <= 10_000:
+        raise ProtocolError(
+            f"iterations must be in [1, 10000], got {request.iterations}")
+    outputs = payload.get("outputs", ())
+    if outputs and (not isinstance(outputs, (list, tuple))
+                    or not all(isinstance(o, str) for o in outputs)):
+        raise ProtocolError(f"outputs must be a list of names, got {outputs!r}")
+    request.outputs = tuple(outputs)
+    request.return_values = bool(payload.get("return_values", False))
+    return request
+
+
+# ----------------------------------------------------------------------
+# Result payloads
+# ----------------------------------------------------------------------
+def _canonical(array: np.ndarray) -> np.ndarray:
+    """C-order little-endian float64 view: one byte layout per value."""
+    array = np.asarray(array)
+    return np.ascontiguousarray(array, dtype=np.dtype(array.dtype).newbyteorder("<"))
+
+
+def array_digest(array: np.ndarray) -> str:
+    """SHA-256 over ``dtype | shape | bytes`` of the canonical layout."""
+    canonical = _canonical(array)
+    digest = hashlib.sha256()
+    digest.update(canonical.dtype.str.encode())
+    digest.update(repr(canonical.shape).encode())
+    digest.update(canonical.tobytes())
+    return digest.hexdigest()
+
+
+def digest_result(result, outputs) -> dict[str, str]:
+    """Per-output digests of one RunResult (same function the server uses)."""
+    return {name: array_digest(result.value(name)) for name in outputs}
+
+
+def encode_array(array: np.ndarray) -> dict:
+    """JSON-safe payload carrying the exact bytes of ``array``."""
+    canonical = _canonical(array)
+    return {
+        "shape": list(canonical.shape),
+        "dtype": canonical.dtype.str,
+        "data": base64.b64encode(canonical.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(payload: dict) -> np.ndarray:
+    """Inverse of :func:`encode_array`."""
+    raw = base64.b64decode(payload["data"])
+    array = np.frombuffer(raw, dtype=np.dtype(payload["dtype"]))
+    return array.reshape(tuple(payload["shape"])).copy()
+
+
+def rejection(request: Request, reason: str, retry_after: float) -> dict:
+    """An admission-control rejection (429-style backpressure)."""
+    return {"id": request.id, "status": "rejected", "tenant": request.tenant,
+            "error": reason, "retry_after": retry_after}
+
+
+def error_response(request_id: object, message: str) -> dict:
+    return {"id": request_id, "status": "error", "error": message}

@@ -1,0 +1,299 @@
+"""The multi-tenant compile/run service (transport-independent core).
+
+:class:`OptimizerService` owns every piece of *shared* warm state in the
+serving process and exposes one ``async submit(payload) -> response``
+entry point the TCP front end (:mod:`repro.server.net`) drives:
+
+* **Shared state** — one process-wide :class:`~repro.core.plancache.
+  PlanCache` adopted by every engine (fingerprints embed engine
+  config/policy, so engines cannot collide), resident datasets and input
+  bindings cached per ``(algorithm, dataset, scale)`` so data-identity
+  tokens stay stable across requests (the thing that makes warm hits
+  possible at all), and the blockpool kernel pools, which are created
+  lazily on first dispatch and torn down exactly once in :meth:`close` —
+  never per request.
+* **Admission control** — a global in-flight bound (``max_queue``) and a
+  per-tenant bound (``tenant_quota``) checked synchronously on the event
+  loop before any work queues; violations return 429-style rejections
+  carrying ``retry_after`` instead of growing an unbounded queue, so an
+  abusive tenant is clipped at its quota and cannot starve others.
+* **Decoupled stages** — a cheap plan-cache probe runs on the event loop;
+  warm requests skip straight to the execute pool while cold compiles go
+  through a separate compile pool (where the optimizer's single-flight
+  layer coalesces concurrent duplicates into one compile). Cache hits are
+  therefore never queued behind slow cold compiles.
+
+Responses are bit-identical to a direct ``Engine.run`` of the same
+workload — the serving layer adds scheduling and accounting, never
+arithmetic — pinned by SHA-256 digests in ``tests/test_server.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from ..config import ClusterConfig, ServerConfig
+from ..algorithms import get_algorithm
+from ..core.plancache import PlanCache
+from ..data import load_dataset
+from ..engines import make_engine
+from ..matrix.blockpool import shutdown_pools
+from . import protocol
+from .protocol import ProtocolError, Request
+
+
+class OptimizerService:
+    """Shared warm optimizer state + admission control, one per process."""
+
+    def __init__(self, config: ServerConfig | None = None,
+                 cluster: ClusterConfig | None = None):
+        self.config = config or ServerConfig()
+        self.cluster = cluster or ClusterConfig()
+        self.started_at = time.time()
+        #: Process-wide compiled-plan cache, shared by every engine.
+        self.plan_cache = PlanCache(self.config.plan_cache_size)
+        self._engines: dict[str, object] = {}
+        self._sessions: dict[tuple[str, str], object] = {}
+        self._workloads: dict[tuple[str, str, float], tuple] = {}
+        import threading
+        self._workloads_lock = threading.Lock()
+        self._compile_pool = ThreadPoolExecutor(
+            max_workers=self.config.compile_workers,
+            thread_name_prefix="repro-compile")
+        self._execute_pool = ThreadPoolExecutor(
+            max_workers=self.config.execute_workers,
+            thread_name_prefix="repro-execute")
+        # Admission accounting; only touched on the event-loop thread.
+        self._admitted = 0
+        self._tenant_inflight: dict[str, int] = {}
+        self.counters = {"received": 0, "accepted": 0, "completed": 0,
+                         "failed": 0, "rejected_busy": 0,
+                         "rejected_quota": 0}
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # Shared-state accessors
+    # ------------------------------------------------------------------
+    def engine(self, name: str | None):
+        """The shared warm engine for ``name`` (lazily built, cache adopted)."""
+        name = name or self.config.default_engine
+        engine = self._engines.get(name)
+        if engine is None:
+            engine = make_engine(name, self.cluster)
+            engine.adopt_plan_cache(self.plan_cache)
+            self._engines[name] = engine
+        return engine
+
+    def session(self, tenant: str, engine_name: str | None):
+        """The tenant's :class:`~repro.engines.session.Session` (lazy)."""
+        engine = self.engine(engine_name)
+        key = (tenant, engine.name)
+        session = self._sessions.get(key)
+        if session is None:
+            session = engine.session(tenant)
+            self._sessions[key] = session
+        return session
+
+    def _workload(self, request: Request) -> tuple:
+        """(algorithm, metas, data, program) with resident-dataset caching.
+
+        Caching by ``(algorithm, dataset, scale)`` keeps the *same* input
+        objects bound across requests, so the plan cache's identity tokens
+        match and repeated submissions become warm hits — the resident-
+        dataset serving model. Runs on a worker thread (dataset generation
+        can be slow), hence the lock.
+        """
+        key = (request.algorithm, request.dataset, request.scale)
+        with self._workloads_lock:
+            entry = self._workloads.get(key)
+        if entry is None:
+            algo = get_algorithm(request.algorithm)
+            dataset = load_dataset(request.dataset, scale=request.scale)
+            meta, data = algo.make_inputs(dataset.matrix)
+            with self._workloads_lock:
+                entry = self._workloads.setdefault(key, (algo, meta, data))
+        algo, meta, data = entry
+        program = algo.program(request.iterations)
+        return algo, meta, data, program
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    def _admit(self, request: Request) -> dict | None:
+        """Reserve capacity, or return the rejection response."""
+        if self._admitted >= self.config.max_queue:
+            self.counters["rejected_busy"] += 1
+            return protocol.rejection(request, "server_busy",
+                                      self.config.retry_after_seconds)
+        tenant_load = self._tenant_inflight.get(request.tenant, 0)
+        if tenant_load >= self.config.tenant_quota:
+            self.counters["rejected_quota"] += 1
+            return protocol.rejection(request, "quota_exceeded",
+                                      self.config.retry_after_seconds)
+        self._admitted += 1
+        self._tenant_inflight[request.tenant] = tenant_load + 1
+        self.counters["accepted"] += 1
+        return None
+
+    def _release(self, request: Request) -> None:
+        self._admitted -= 1
+        remaining = self._tenant_inflight.get(request.tenant, 1) - 1
+        if remaining <= 0:
+            self._tenant_inflight.pop(request.tenant, None)
+        else:
+            self._tenant_inflight[request.tenant] = remaining
+
+    # ------------------------------------------------------------------
+    # Request processing
+    # ------------------------------------------------------------------
+    async def submit(self, payload: object) -> dict:
+        """Process one decoded request payload; always returns a response."""
+        self.counters["received"] += 1
+        try:
+            request = protocol.parse_request(payload)
+        except ProtocolError as error:
+            self.counters["failed"] += 1
+            request_id = payload.get("id") if isinstance(payload, dict) else None
+            return protocol.error_response(request_id, str(error))
+        if request.op == "ping":
+            return {"id": request.id, "status": "ok", "op": "ping"}
+        if request.op == "stats":
+            return {"id": request.id, "status": "ok", "op": "stats",
+                    "stats": self.stats()}
+        if request.op == "shutdown":
+            allowed = self.config.allow_remote_shutdown
+            return {"id": request.id, "status": "ok" if allowed else "error",
+                    "op": "shutdown",
+                    **({} if allowed else {"error": "shutdown disabled"})}
+        rejection = self._admit(request)
+        if rejection is not None:
+            return rejection
+        try:
+            response = await self._process(request)
+            self.counters["completed"] += 1
+            return response
+        except Exception as error:  # surface, never kill the server
+            self.counters["failed"] += 1
+            return protocol.error_response(
+                request.id, f"{type(error).__name__}: {error}")
+        finally:
+            self._release(request)
+
+    async def _process(self, request: Request) -> dict:
+        loop = asyncio.get_running_loop()
+        received = time.perf_counter()
+        session = self.session(request.tenant, request.engine)
+        # Workload resolution (dataset generation can be slow the first
+        # time) happens off-loop, on the compile pool.
+        algo, meta, data, program = await loop.run_in_executor(
+            self._compile_pool, self._workload, request)
+        queued = time.perf_counter()
+
+        # Decoupled stages: the warm probe runs right here on the loop —
+        # a cache hit routes straight to the execute pool and is never
+        # queued behind a cold compile.
+        compiled = session.cached_plan(program, meta, data,
+                                       iterations=request.iterations)
+        if compiled is None:
+            compiled = await loop.run_in_executor(
+                self._compile_pool, lambda: session.compile(
+                    program, meta, data, iterations=request.iterations))
+        compiled_at = time.perf_counter()
+        outcome = compiled.notes.get("plan_cache", "off")
+
+        if request.op == "optimize":
+            return {
+                "id": request.id, "status": "ok", "op": "optimize",
+                "tenant": request.tenant, "engine": session.engine.name,
+                "plan_cache": outcome,
+                "compile_ms": round((compiled_at - queued) * 1e3, 3),
+                "queue_ms": round((queued - received) * 1e3, 3),
+                "estimated_cost_s": compiled.estimated_cost,
+                "options_found": compiled.notes.get("options_found"),
+                "applied_options": [str(o) for o in compiled.applied_options],
+            }
+
+        outputs = request.outputs or algo.outputs
+        packaged = await loop.run_in_executor(
+            self._execute_pool, lambda: self._execute_and_package(
+                session, algo, compiled, data, outputs,
+                request.return_values))
+        finished = time.perf_counter()
+        packaged.update({
+            "id": request.id, "status": "ok", "op": "run",
+            "tenant": request.tenant, "engine": session.engine.name,
+            "plan_cache": outcome,
+            "queue_ms": round((queued - received) * 1e3, 3),
+            "compile_ms": round((compiled_at - queued) * 1e3, 3),
+            "execute_ms": round((finished - compiled_at) * 1e3, 3),
+            "total_ms": round((finished - received) * 1e3, 3),
+        })
+        return packaged
+
+    def _execute_and_package(self, session, algo, compiled, data, outputs,
+                             return_values: bool) -> dict:
+        """Execute stage: private executor, then digest/encode outputs."""
+        result = session.execute(compiled, data,
+                                 symmetric=algo.symmetric_inputs,
+                                 compile_wall_seconds=compiled.compile_seconds)
+        results = {}
+        for name in outputs:
+            value = result.value(name)
+            entry = {"sha256": protocol.array_digest(value)}
+            if return_values:
+                entry.update(protocol.encode_array(value))
+            results[name] = entry
+        return {
+            "results": results,
+            "simulated_execution_s": result.execution_seconds,
+            "simulated_total_s": result.total_seconds,
+            "applied_options": len(result.compiled.applied_options)
+            if result.compiled else 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection & lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Service-wide snapshot: counters, cache, memo, tenants."""
+        sessions = [session.summary() for session in self._sessions.values()]
+        sketch = None
+        if self._engines:
+            # Every engine shares the plan cache; sketch memos are
+            # per-optimizer — report the default engine's.
+            default = self._engines.get(self.config.default_engine)
+            if default is not None:
+                sketch = default.optimizer.sketch_memo.as_dict()
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "in_flight": self._admitted,
+            "tenants_in_flight": dict(self._tenant_inflight),
+            "counters": dict(self.counters),
+            "plan_cache": self.plan_cache.stats_dict(),
+            "plan_cache_entries": len(self.plan_cache),
+            "sketch_memo": sketch,
+            "engines": sorted(self._engines),
+            "sessions": sessions,
+            "config": {
+                "max_queue": self.config.max_queue,
+                "tenant_quota": self.config.tenant_quota,
+                "compile_workers": self.config.compile_workers,
+                "execute_workers": self.config.execute_workers,
+            },
+        }
+
+    def close(self) -> None:
+        """Tear down worker pools and the shared kernel pools, exactly once.
+
+        This is the *only* place the serving process calls
+        :func:`~repro.matrix.blockpool.shutdown_pools` — per-request
+        teardown would churn executors and defeat pool sharing.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        self._compile_pool.shutdown(wait=True)
+        self._execute_pool.shutdown(wait=True)
+        shutdown_pools()

@@ -44,7 +44,7 @@ class TestCacheHits:
         assert cold.notes["plan_cache"] == "miss"
         assert warm.notes["plan_cache"] == "hit"
         assert optimizer.plan_cache_stats == {"hits": 1, "misses": 1,
-                                              "evictions": 0}
+                                              "evictions": 0, "coalesced": 0}
         assert format_program(warm.program) == format_program(cold.program)
         assert warm.estimated_cost == cold.estimated_cost
         assert [str(o) for o in warm.applied_options] \
@@ -201,6 +201,151 @@ class TestLRU:
         optimizer.compile(program, inputs, data, iterations=12)  # evicts
         optimizer.compile(program, inputs, data, iterations=6)   # miss again
         assert optimizer.plan_cache_stats["evictions"] >= 1
+
+
+class TestConcurrentCompiles:
+    """Single-flight coalescing: concurrent compiles are deterministic."""
+
+    def _counting_optimizer(self, cluster):
+        """An optimizer whose cold-compile path counts its invocations."""
+        import threading
+
+        optimizer = ReMacOptimizer(cluster)
+        lock = threading.Lock()
+        calls = []
+        original = optimizer._compile_cold
+
+        def counting(program, inputs, input_data=None, iterations=None,
+                     *args, **kwargs):
+            with lock:
+                calls.append(iterations)
+            return original(program, inputs, input_data, iterations,
+                            *args, **kwargs)
+
+        optimizer._compile_cold = counting
+        return optimizer, calls
+
+    def test_one_compile_per_unique_fingerprint(self, cluster, gd_setup):
+        """N threads, few fingerprints: each compiles exactly once, every
+        thread gets a bit-identical plan, and the hit/miss/coalesce
+        counters account for every submission."""
+        import threading
+
+        program, inputs, data = gd_setup
+        optimizer, calls = self._counting_optimizer(cluster)
+        budgets = [6, 8, 10]          # near-miss fingerprints
+        threads_per_budget = 4
+        total = len(budgets) * threads_per_budget
+        barrier = threading.Barrier(total)
+        results: list[tuple[int, object]] = []
+        errors: list[BaseException] = []
+        lock = threading.Lock()
+
+        def worker(iterations: int) -> None:
+            try:
+                barrier.wait()
+                compiled = optimizer.compile(program, inputs, data,
+                                             iterations=iterations)
+                with lock:
+                    results.append((iterations, compiled))
+            except BaseException as error:  # pragma: no cover
+                with lock:
+                    errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(budget,))
+                   for budget in budgets
+                   for _ in range(threads_per_budget)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(results) == total
+        # Exactly one cold compile per unique fingerprint.
+        assert sorted(calls) == sorted(budgets)
+        # Every submission is exactly one of hit/miss/coalesced.
+        stats = optimizer.plan_cache_stats
+        assert stats["misses"] == len(budgets)
+        assert stats["hits"] + stats["misses"] + stats["coalesced"] == total
+        # All plans for one fingerprint are bit-identical.
+        for budget in budgets:
+            plans = [c for (i, c) in results if i == budget]
+            reference = plans[0]
+            for plan in plans[1:]:
+                assert format_program(plan.program) \
+                    == format_program(reference.program)
+                assert plan.estimated_cost == reference.estimated_cost
+                assert [str(o) for o in plan.applied_options] \
+                    == [str(o) for o in reference.applied_options]
+                assert plan.notes["plan_cache"] in ("miss", "hit",
+                                                    "coalesced")
+
+    def test_leader_failure_propagates_and_clears_inflight(self, cluster,
+                                                           gd_setup):
+        """A failed leader compile re-raises in followers and leaves no
+        stuck in-flight record — a later retry compiles fresh."""
+        import threading
+
+        program, inputs, data = gd_setup
+        optimizer = ReMacOptimizer(cluster)
+        original = optimizer._compile_cold
+        release = threading.Event()
+
+        def failing(*args, **kwargs):
+            release.wait(timeout=10.0)  # hold followers in the join path
+            raise RuntimeError("synthetic compile failure")
+
+        optimizer._compile_cold = failing
+        errors: list[BaseException] = []
+        lock = threading.Lock()
+        started = threading.Barrier(3)
+
+        def worker() -> None:
+            try:
+                started.wait()
+                optimizer.compile(program, inputs, data, iterations=6)
+            except RuntimeError as error:
+                with lock:
+                    errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        release.set()
+        for thread in threads:
+            thread.join()
+        assert len(errors) == 3
+        assert all("synthetic compile failure" in str(e) for e in errors)
+        # The in-flight table is clean: a retry compiles for real.
+        optimizer._compile_cold = original
+        compiled = optimizer.compile(program, inputs, data, iterations=6)
+        assert compiled.notes["plan_cache"] == "miss"
+
+    def test_concurrent_hits_after_warmup(self, cluster, gd_setup):
+        """Post-warmup concurrency is all hits — no spurious recompiles."""
+        import threading
+
+        program, inputs, data = gd_setup
+        optimizer, calls = self._counting_optimizer(cluster)
+        optimizer.compile(program, inputs, data, iterations=6)
+        barrier = threading.Barrier(6)
+        outcomes: list[str] = []
+        lock = threading.Lock()
+
+        def worker() -> None:
+            barrier.wait()
+            compiled = optimizer.compile(program, inputs, data,
+                                         iterations=6)
+            with lock:
+                outcomes.append(compiled.notes["plan_cache"])
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert calls == [6]           # the warmup compile only
+        assert outcomes == ["hit"] * 6
 
 
 class TestDataTokensLifecycle:
