@@ -176,7 +176,30 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--engine", default="remac", choices=sorted(ENGINES),
                        help="engine used when a request names none")
     serve.add_argument("--no-remote-shutdown", action="store_true",
-                       help="ignore {'op': 'shutdown'} from clients")
+                       help="ignore {'op': 'shutdown'} / {'op': 'drain'} "
+                            "from clients")
+    serve.add_argument("--default-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="server-side deadline for run/optimize requests "
+                            "that name none; overdue requests get a typed "
+                            "deadline_exceeded response (default: none)")
+    serve.add_argument("--tenant-rate", type=float, default=None,
+                       metavar="RPS",
+                       help="sustained per-tenant request rate enforced by "
+                            "a token bucket; rejections carry a computed "
+                            "retry_after (default: unlimited)")
+    serve.add_argument("--tenant-burst", type=float, default=None,
+                       metavar="N",
+                       help="token-bucket burst capacity above the "
+                            "sustained --tenant-rate (default 8)")
+    serve.add_argument("--drain-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="how long a drain lets in-flight requests "
+                            "finish before shedding them (default 30)")
+    serve.add_argument("--max-frame-bytes", type=int, default=None,
+                       metavar="BYTES",
+                       help="largest request/response line accepted on the "
+                            "wire (default 64 MiB)")
     serve.add_argument("--kernel-workers", type=int, default=None, metavar="W",
                        help="worker-pool width for block-level execution "
                             "kernels, shared across all requests "
@@ -370,6 +393,17 @@ def _command_serve(args) -> int:
         cluster = replace(cluster, kernel_workers=args.kernel_workers)
     if args.kernel_backend is not None:
         cluster = replace(cluster, kernel_backend=args.kernel_backend)
+    server_kwargs = {}
+    if args.default_deadline is not None:
+        server_kwargs["default_deadline_seconds"] = args.default_deadline
+    if args.tenant_rate is not None:
+        server_kwargs["tenant_rate"] = args.tenant_rate
+    if args.tenant_burst is not None:
+        server_kwargs["tenant_burst"] = args.tenant_burst
+    if args.drain_deadline is not None:
+        server_kwargs["drain_deadline_seconds"] = args.drain_deadline
+    if args.max_frame_bytes is not None:
+        server_kwargs["max_frame_bytes"] = args.max_frame_bytes
     config = ServerConfig(
         host=args.host, port=args.port, max_queue=args.max_queue,
         tenant_quota=args.tenant_quota,
@@ -377,12 +411,17 @@ def _command_serve(args) -> int:
         execute_workers=args.execute_workers,
         plan_cache_size=args.plan_cache_size,
         default_engine=args.engine,
-        allow_remote_shutdown=not args.no_remote_shutdown)
+        allow_remote_shutdown=not args.no_remote_shutdown,
+        **server_kwargs)
     stats = run_server(config, cluster)
     counters = stats.get("counters", {})
     cache = stats.get("plan_cache", {})
     print(f"server stopped after {counters.get('completed', 0)} completed / "
           f"{counters.get('received', 0)} received requests")
+    drain = stats.get("drain")
+    if drain is not None:
+        print(f"drain: {drain['completed_during_drain']} completed, "
+              f"{drain['shed']} shed")
     print(f"plan cache: {cache}")
     return 0
 

@@ -221,14 +221,35 @@ class ServerConfig:
     compile_workers: int = 2
     #: Worker threads for the execute stage.
     execute_workers: int = 2
-    #: Suggested client back-off carried by rejection responses.
+    #: *Floor* for the client back-off carried by rejection responses; the
+    #: advertised ``retry_after`` is computed from observed queue depth /
+    #: token-bucket refill time and never drops below this.
     retry_after_seconds: float = 0.05
     #: Engine used when a request names none.
     default_engine: str = "remac"
     #: Capacity of the process-wide shared plan cache.
     plan_cache_size: int = 256
-    #: Honour ``{"op": "shutdown"}`` from clients (local tooling default).
+    #: Honour ``{"op": "shutdown"}`` / ``{"op": "drain"}`` from clients
+    #: (local tooling default).
     allow_remote_shutdown: bool = True
+    #: Server-side deadline applied to run/optimize requests that name none
+    #: themselves (``deadline_seconds`` in the request overrides). ``None``
+    #: means no default deadline: a request without one may run
+    #: arbitrarily long.
+    default_deadline_seconds: float | None = None
+    #: Sustained per-tenant request rate (requests/second) enforced by a
+    #: token bucket ahead of the in-flight quotas. ``None`` disables rate
+    #: limiting (the in-flight bounds still apply).
+    tenant_rate: float | None = None
+    #: Token-bucket capacity: how many requests a tenant may burst above
+    #: the sustained ``tenant_rate`` after idling.
+    tenant_burst: float = 8.0
+    #: Graceful drain: how long ``drain`` (or ``ServerHandle.stop``) lets
+    #: in-flight requests finish before shedding them and stopping.
+    drain_deadline_seconds: float = 30.0
+    #: Largest request/response line accepted on the wire; an oversized
+    #: frame gets a typed error response and the connection closes.
+    max_frame_bytes: int = 64 * 1024 * 1024
 
     def __post_init__(self) -> None:
         if not (0 <= self.port <= 65535):
@@ -253,6 +274,26 @@ class ServerConfig:
         if self.plan_cache_size < 1:
             raise ConfigError(
                 f"plan_cache_size must be >= 1, got {self.plan_cache_size}")
+        if self.default_deadline_seconds is not None \
+                and not self.default_deadline_seconds > 0.0:  # rejects NaN
+            raise ConfigError(
+                f"default_deadline_seconds must be positive or None, "
+                f"got {self.default_deadline_seconds}")
+        if self.tenant_rate is not None \
+                and not self.tenant_rate > 0.0:  # rejects NaN
+            raise ConfigError(
+                f"tenant_rate must be positive or None, "
+                f"got {self.tenant_rate}")
+        if not self.tenant_burst >= 1.0:  # rejects NaN
+            raise ConfigError(
+                f"tenant_burst must be >= 1, got {self.tenant_burst}")
+        if not self.drain_deadline_seconds >= 0.0:  # rejects NaN
+            raise ConfigError(
+                f"drain_deadline_seconds must be >= 0, "
+                f"got {self.drain_deadline_seconds}")
+        if self.max_frame_bytes < 1024:
+            raise ConfigError(
+                f"max_frame_bytes must be >= 1024, got {self.max_frame_bytes}")
 
 
 DEFAULT_CLUSTER = ClusterConfig()

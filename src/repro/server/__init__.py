@@ -12,14 +12,18 @@ compiles. Start it with ``python -m repro serve``; drive it with
 
 from __future__ import annotations
 
-from .client import ServerClient
+from .chaos import ChaosDriver, ServerSupervisor, WireFaultPlan
+from .client import (ClientError, ClientTimeout, RetryBudgetExceeded,
+                     ServerClient)
 from .net import ServerHandle, run_server
 from .protocol import (ProtocolError, Request, array_digest, decode_array,
                        digest_result, encode_array, parse_request)
 from .service import OptimizerService
 
 __all__ = [
-    "OptimizerService", "ProtocolError", "Request", "ServerClient",
-    "ServerHandle", "array_digest", "decode_array", "digest_result",
-    "encode_array", "parse_request", "run_server",
+    "ChaosDriver", "ClientError", "ClientTimeout", "OptimizerService",
+    "ProtocolError", "Request", "RetryBudgetExceeded", "ServerClient",
+    "ServerHandle", "ServerSupervisor", "WireFaultPlan", "array_digest",
+    "decode_array", "digest_result", "encode_array", "parse_request",
+    "run_server",
 ]

@@ -3,8 +3,12 @@
 :func:`run_server` is the blocking CLI entry point (``python -m repro
 serve``); :class:`ServerHandle` hosts the same server on a daemon thread
 with its own event loop for tests and the load generator, exposing the
-bound port and a threadsafe :meth:`~ServerHandle.stop` that returns the
-final stats snapshot (the "clean shutdown" evidence the CI smoke asserts).
+bound port, a threadsafe :meth:`~ServerHandle.stop` that *drains*
+gracefully (stop admitting, finish in-flight work up to
+``drain_deadline_seconds``, report what was shed) and raises if the
+thread fails to join, and a :meth:`~ServerHandle.kill` hard stop for the
+chaos harness. The ``drain`` op triggers the same graceful sequence from
+the wire.
 
 The handler itself is one readline loop per connection: decode a line,
 ``await service.submit``, write the response line. Concurrency comes from
@@ -22,10 +26,6 @@ import threading
 from ..config import ClusterConfig, ServerConfig
 from .service import OptimizerService
 
-#: Generous per-line cap; requests are small JSON objects, responses with
-#: ``return_values`` can carry megabytes of base64 payload.
-_LINE_LIMIT = 64 * 1024 * 1024
-
 
 class _ServerCore:
     """One service + one asyncio server + a stop event, loop-agnostic."""
@@ -39,6 +39,7 @@ class _ServerCore:
         self.host: str | None = None
         self.port: int | None = None
         self._handlers: set[asyncio.Task] = set()
+        self._drain_task: asyncio.Task | None = None
 
     async def _track(self, reader: asyncio.StreamReader,
                      writer: asyncio.StreamWriter) -> None:
@@ -47,6 +48,11 @@ class _ServerCore:
         self._handlers.add(task)
         try:
             await self._handle(reader, writer)
+        except asyncio.CancelledError:
+            # Shutdown reaped this connection while it was parked on
+            # readline; completing normally keeps asyncio's stream
+            # callback from logging a CancelledError traceback.
+            pass
         finally:
             self._handlers.discard(task)
 
@@ -76,11 +82,16 @@ class _ServerCore:
                     response = await self.service.submit(payload)
                 writer.write(_encode(response))
                 await writer.drain()
-                if isinstance(payload, dict) and payload.get("op") == "shutdown" \
-                        and response.get("status") == "ok" \
+                op = payload.get("op") if isinstance(payload, dict) else None
+                if op == "shutdown" and response.get("status") == "ok" \
                         and self.config.allow_remote_shutdown:
                     self.stop_event.set()
                     break
+                if op == "drain" and response.get("status") == "ok" \
+                        and self.config.allow_remote_shutdown:
+                    self.begin_drain()
+                    # Keep the connection open: the drain initiator may
+                    # poll health/ready until the server stops.
         except (ConnectionResetError, BrokenPipeError):
             pass  # client vanished mid-response; nothing to salvage
         finally:
@@ -90,12 +101,35 @@ class _ServerCore:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
+    def begin_drain(self) -> None:
+        """Stop admitting, let in-flight work finish, then stop the server.
+
+        Idempotent; must run on the event-loop thread (schedule with
+        ``call_soon_threadsafe`` from outside). The drain deadline comes
+        from ``ServerConfig.drain_deadline_seconds``; whatever is still in
+        flight when it expires is shed (its handler task cancelled) and
+        reported in the final stats under ``drain``.
+        """
+        if self.stop_event is None or self.stop_event.is_set():
+            return  # already stopping: nothing left to drain
+        if self._drain_task is None:
+            self.service.begin_drain()
+            self._drain_task = asyncio.ensure_future(self._drain())
+
+    async def _drain(self) -> None:
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.drain_deadline_seconds
+        while self.service.in_flight > 0 and loop.time() < deadline:
+            await asyncio.sleep(0.005)
+        self.service.finish_drain(shed=self.service.in_flight)
+        self.stop_event.set()
+
     async def serve(self, ready: threading.Event | None = None) -> dict:
         """Serve until the stop event fires; returns the final stats."""
         self.stop_event = asyncio.Event()
         self.server = await asyncio.start_server(
             self._track, self.config.host, self.config.port,
-            limit=_LINE_LIMIT)
+            limit=self.config.max_frame_bytes)
         sockname = self.server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
         if ready is not None:
@@ -194,15 +228,38 @@ class ServerHandle:
     def service(self) -> "OptimizerService":
         return self._core.service
 
-    def stop(self, timeout: float = 30.0) -> dict | None:
-        """Stop serving, join the thread, return the final stats snapshot."""
+    def stop(self, timeout: float = 30.0, drain: bool = True) -> dict | None:
+        """Gracefully stop: drain, join the thread, return the final stats.
+
+        ``drain=True`` (default) stops admitting, lets in-flight requests
+        finish up to the server's drain deadline, and reports what was
+        shed in the final stats. A stop that did not actually stop is
+        never reported as clean: if the server thread fails to join
+        within ``timeout``, this *raises* ``RuntimeError`` instead of
+        silently returning.
+        """
         if self._thread.is_alive() and self._loop is not None \
                 and self._core.stop_event is not None:
-            self._loop.call_soon_threadsafe(self._core.stop_event.set)
+            target = self._core.begin_drain if drain \
+                else self._core.stop_event.set
+            try:
+                self._loop.call_soon_threadsafe(target)
+            except RuntimeError:
+                pass  # loop already closed: the thread is on its way out
         self._thread.join(timeout=timeout)
         if self._thread.is_alive():
-            raise RuntimeError("server thread did not stop cleanly")
+            raise RuntimeError(
+                f"server thread did not stop within {timeout}s "
+                f"({self._core.service.in_flight} requests in flight)")
         return self.final_stats
+
+    def kill(self, timeout: float = 30.0) -> dict | None:
+        """Hard stop: shed in-flight requests without draining.
+
+        The chaos harness's mid-request server kill; handler tasks are
+        cancelled, their clients see a dropped connection.
+        """
+        return self.stop(timeout=timeout, drain=False)
 
     def __enter__(self) -> "ServerHandle":
         return self

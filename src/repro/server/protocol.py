@@ -1,12 +1,15 @@
 """Wire protocol of the compile/run server: JSON lines, stdlib only.
 
 One request per line, one response per line, UTF-8 JSON. Requests carry an
-``op`` (``run`` — the default — ``optimize``, ``stats``, ``ping``, or
-``shutdown``), a ``tenant`` label for admission accounting, and a workload
-named the same way the CLI names one: ``algorithm`` + ``dataset`` (+
-``scale``, ``iterations``). Responses echo the request ``id`` and carry a
-``status``: ``ok``, ``rejected`` (admission control; includes
-``retry_after``), or ``error`` (bad request or failed execution).
+``op`` (``run`` — the default — ``optimize``, ``stats``, ``ping``,
+``health``, ``ready``, ``drain``, or ``shutdown``), a ``tenant`` label for
+admission accounting, a workload named the same way the CLI names one
+(``algorithm`` + ``dataset`` + ``scale``, ``iterations``), and an optional
+``deadline_seconds`` budget. Responses echo the request ``id`` and carry a
+``status``: ``ok``, ``rejected`` (admission control; the ``error`` field
+names one of :data:`REJECTION_REASONS` and ``retry_after`` is computed
+from actual bucket/queue state), or ``error`` (bad request, failed
+execution, or the typed ``deadline_exceeded``).
 
 Result matrices travel as canonical little-endian C-order bytes: every
 output always reports a SHA-256 digest over ``dtype | shape | bytes``
@@ -30,7 +33,16 @@ from ..data import ALL_DATASET_NAMES
 from ..engines import ENGINES
 
 #: Operations a request may name.
-OPS = ("run", "optimize", "stats", "ping", "shutdown")
+OPS = ("run", "optimize", "stats", "ping", "shutdown", "drain", "health",
+       "ready")
+
+#: Typed reasons a ``rejected`` response may carry; every rejection names
+#: exactly one of these in its ``error`` field.
+REJECTION_REASONS = ("server_busy", "quota_exceeded", "rate_limited",
+                     "draining")
+
+#: Ceiling on a client-supplied ``deadline_seconds``.
+MAX_DEADLINE_SECONDS = 86_400.0
 
 
 class ProtocolError(ValueError):
@@ -51,6 +63,8 @@ class Request:
     iterations: int = 10
     outputs: tuple[str, ...] = ()
     return_values: bool = False
+    #: Per-request deadline in wall seconds (``None`` = server default).
+    deadline_seconds: float | None = None
     raw: dict = field(default_factory=dict, repr=False)
 
 
@@ -67,7 +81,7 @@ def parse_request(payload: object) -> Request:
     if not isinstance(tenant, str) or not tenant:
         raise ProtocolError(f"tenant must be a non-empty string, got {tenant!r}")
     request.tenant = tenant
-    if op in ("stats", "ping", "shutdown"):
+    if op in ("stats", "ping", "shutdown", "drain", "health", "ready"):
         return request
 
     engine = payload.get("engine")
@@ -101,6 +115,22 @@ def parse_request(payload: object) -> Request:
         raise ProtocolError(f"outputs must be a list of names, got {outputs!r}")
     request.outputs = tuple(outputs)
     request.return_values = bool(payload.get("return_values", False))
+    deadline = payload.get("deadline_seconds")
+    if deadline is not None:
+        if isinstance(deadline, bool):
+            raise ProtocolError(
+                f"deadline_seconds must be a number, got {deadline!r}")
+        try:
+            deadline = float(deadline)
+        except (TypeError, ValueError):
+            raise ProtocolError(
+                f"deadline_seconds must be a number, "
+                f"got {deadline!r}") from None
+        if not 0.0 < deadline <= MAX_DEADLINE_SECONDS:  # rejects NaN
+            raise ProtocolError(
+                f"deadline_seconds must be in (0, {MAX_DEADLINE_SECONDS}], "
+                f"got {deadline}")
+        request.deadline_seconds = deadline
     return request
 
 
@@ -146,9 +176,30 @@ def decode_array(payload: dict) -> np.ndarray:
 
 
 def rejection(request: Request, reason: str, retry_after: float) -> dict:
-    """An admission-control rejection (429-style backpressure)."""
+    """An admission-control rejection (429-style backpressure).
+
+    ``reason`` is one of :data:`REJECTION_REASONS`; ``retry_after`` is the
+    server's *computed* back-off suggestion (bucket refill time or
+    estimated queue drain), floored at ``ServerConfig.retry_after_seconds``.
+    """
+    assert reason in REJECTION_REASONS, reason
     return {"id": request.id, "status": "rejected", "tenant": request.tenant,
-            "error": reason, "retry_after": retry_after}
+            "error": reason, "retry_after": round(retry_after, 6)}
+
+
+def deadline_exceeded(request: Request, deadline_seconds: float,
+                      elapsed_seconds: float) -> dict:
+    """The typed response for a request that outlived its deadline.
+
+    ``status`` is ``error`` with the machine-matchable reason
+    ``deadline_exceeded`` — unlike a rejection there is no point retrying
+    the identical request without raising its budget, so no
+    ``retry_after`` is suggested.
+    """
+    return {"id": request.id, "status": "error", "tenant": request.tenant,
+            "error": "deadline_exceeded",
+            "deadline_seconds": deadline_seconds,
+            "elapsed_ms": round(elapsed_seconds * 1e3, 3)}
 
 
 def error_response(request_id: object, message: str) -> dict:

@@ -12,11 +12,20 @@ entry point the TCP front end (:mod:`repro.server.net`) drives:
   possible at all), and the blockpool kernel pools, which are created
   lazily on first dispatch and torn down exactly once in :meth:`close` —
   never per request.
-* **Admission control** — a global in-flight bound (``max_queue``) and a
-  per-tenant bound (``tenant_quota``) checked synchronously on the event
-  loop before any work queues; violations return 429-style rejections
-  carrying ``retry_after`` instead of growing an unbounded queue, so an
-  abusive tenant is clipped at its quota and cannot starve others.
+* **Admission control** — checked synchronously on the event loop before
+  any work queues, in containment order: the drain gate, a per-tenant
+  token-bucket request rate (``tenant_rate``/``tenant_burst``), a global
+  in-flight bound (``max_queue``), and a per-tenant in-flight bound
+  (``tenant_quota``). Violations return 429-style rejections whose
+  ``retry_after`` is *computed* from the violated state (bucket refill
+  time, or queue depth times the observed service-time EWMA), floored at
+  ``retry_after_seconds`` — so an abusive tenant is clipped and told
+  honestly when to come back.
+* **Deadlines** — requests carry ``deadline_seconds`` (or inherit
+  ``default_deadline_seconds``); a watchdog awards each stage only the
+  remaining budget and cancels/abandons overdue pool futures, answering
+  with the typed ``deadline_exceeded`` response, so one pathological
+  workload can never wedge a pool slot forever.
 * **Decoupled stages** — a cheap plan-cache probe runs on the event loop;
   warm requests skip straight to the execute pool while cold compiles go
   through a separate compile pool (where the optimizer's single-flight
@@ -44,6 +53,41 @@ from . import protocol
 from .protocol import ProtocolError, Request
 
 
+class _DeadlineExceeded(Exception):
+    """Internal signal: a request stage outlived the request deadline."""
+
+    def __init__(self, deadline_seconds: float, elapsed_seconds: float):
+        super().__init__(f"deadline of {deadline_seconds}s exceeded after "
+                         f"{elapsed_seconds:.3f}s")
+        self.deadline_seconds = deadline_seconds
+        self.elapsed_seconds = elapsed_seconds
+
+
+class _TokenBucket:
+    """One tenant's request-rate bucket: ``rate`` tokens/sec, ``burst`` cap.
+
+    Only touched on the event-loop thread, so plain attributes suffice.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float, now: float):
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.stamp = now
+
+    def try_take(self, now: float) -> float:
+        """Take one token; 0.0 on success, else seconds until one refills."""
+        self.tokens = min(self.burst,
+                          self.tokens + (now - self.stamp) * self.rate)
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
 class OptimizerService:
     """Shared warm optimizer state + admission control, one per process."""
 
@@ -68,10 +112,23 @@ class OptimizerService:
         # Admission accounting; only touched on the event-loop thread.
         self._admitted = 0
         self._tenant_inflight: dict[str, int] = {}
+        self._rate_buckets: dict[str, _TokenBucket] = {}
+        #: EWMA of completed run/optimize wall seconds — the basis for
+        #: computed ``retry_after`` suggestions. None until one completes.
+        self._service_seconds_ewma: float | None = None
+        self.draining = False
+        self.drain_report: dict | None = None
         self.counters = {"received": 0, "accepted": 0, "completed": 0,
                          "failed": 0, "rejected_busy": 0,
-                         "rejected_quota": 0}
+                         "rejected_quota": 0, "rejected_rate": 0,
+                         "rejected_draining": 0, "deadline_exceeded": 0,
+                         "shed": 0}
         self.closed = False
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently admitted (queued or running, both stages)."""
+        return self._admitted
 
     # ------------------------------------------------------------------
     # Shared-state accessors
@@ -121,17 +178,60 @@ class OptimizerService:
     # ------------------------------------------------------------------
     # Admission control
     # ------------------------------------------------------------------
+    def _drain_estimate(self, slots_ahead: int, parallelism: int) -> float:
+        """Seconds until ``slots_ahead`` in-flight slots free up, floored.
+
+        Estimated from the EWMA of observed request service time; before
+        any request has completed, the configured floor is all we know.
+        """
+        floor = self.config.retry_after_seconds
+        if self._service_seconds_ewma is None:
+            return floor
+        estimate = slots_ahead * self._service_seconds_ewma \
+            / max(1, parallelism)
+        return max(floor, estimate)
+
     def _admit(self, request: Request) -> dict | None:
-        """Reserve capacity, or return the rejection response."""
+        """Reserve capacity, or return the rejection response.
+
+        Checked in containment order: drain gate, per-tenant request rate
+        (token bucket), global in-flight bound, per-tenant in-flight
+        quota. Every rejection carries a ``retry_after`` computed from the
+        state that caused it (bucket refill time or estimated queue
+        drain), floored at ``retry_after_seconds``.
+        """
+        if self.draining:
+            self.counters["rejected_draining"] += 1
+            return protocol.rejection(request, "draining",
+                                      self.config.retry_after_seconds)
+        if self.config.tenant_rate is not None:
+            now = time.monotonic()
+            bucket = self._rate_buckets.get(request.tenant)
+            if bucket is None:
+                bucket = _TokenBucket(self.config.tenant_rate,
+                                      self.config.tenant_burst, now)
+                self._rate_buckets[request.tenant] = bucket
+            wait = bucket.try_take(now)
+            if wait > 0.0:
+                self.counters["rejected_rate"] += 1
+                return protocol.rejection(
+                    request, "rate_limited",
+                    max(self.config.retry_after_seconds, wait))
         if self._admitted >= self.config.max_queue:
             self.counters["rejected_busy"] += 1
-            return protocol.rejection(request, "server_busy",
-                                      self.config.retry_after_seconds)
+            slots_over = self._admitted - self.config.max_queue + 1
+            return protocol.rejection(
+                request, "server_busy",
+                self._drain_estimate(slots_over,
+                                     self.config.compile_workers
+                                     + self.config.execute_workers))
         tenant_load = self._tenant_inflight.get(request.tenant, 0)
         if tenant_load >= self.config.tenant_quota:
             self.counters["rejected_quota"] += 1
-            return protocol.rejection(request, "quota_exceeded",
-                                      self.config.retry_after_seconds)
+            slots_over = tenant_load - self.config.tenant_quota + 1
+            return protocol.rejection(
+                request, "quota_exceeded",
+                self._drain_estimate(slots_over, self.config.tenant_quota))
         self._admitted += 1
         self._tenant_inflight[request.tenant] = tenant_load + 1
         self.counters["accepted"] += 1
@@ -162,18 +262,33 @@ class OptimizerService:
         if request.op == "stats":
             return {"id": request.id, "status": "ok", "op": "stats",
                     "stats": self.stats()}
-        if request.op == "shutdown":
+        if request.op == "health":
+            return {"id": request.id, "status": "ok", "op": "health",
+                    "health": self.health()}
+        if request.op == "ready":
+            ready = not self.draining \
+                and self._admitted < self.config.max_queue
+            return {"id": request.id, "status": "ok", "op": "ready",
+                    "ready": ready, "draining": self.draining}
+        if request.op in ("shutdown", "drain"):
             allowed = self.config.allow_remote_shutdown
             return {"id": request.id, "status": "ok" if allowed else "error",
-                    "op": "shutdown",
-                    **({} if allowed else {"error": "shutdown disabled"})}
+                    "op": request.op,
+                    **({"in_flight": self._admitted} if allowed
+                       else {"error": f"{request.op} disabled"})}
         rejection = self._admit(request)
         if rejection is not None:
             return rejection
+        started = time.monotonic()
         try:
             response = await self._process(request)
             self.counters["completed"] += 1
+            self._observe_service_time(time.monotonic() - started)
             return response
+        except _DeadlineExceeded as exceeded:
+            self.counters["deadline_exceeded"] += 1
+            return protocol.deadline_exceeded(
+                request, exceeded.deadline_seconds, exceeded.elapsed_seconds)
         except Exception as error:  # surface, never kill the server
             self.counters["failed"] += 1
             return protocol.error_response(
@@ -181,14 +296,45 @@ class OptimizerService:
         finally:
             self._release(request)
 
+    def _observe_service_time(self, seconds: float) -> None:
+        if self._service_seconds_ewma is None:
+            self._service_seconds_ewma = seconds
+        else:
+            self._service_seconds_ewma = \
+                0.8 * self._service_seconds_ewma + 0.2 * seconds
+
     async def _process(self, request: Request) -> dict:
         loop = asyncio.get_running_loop()
         received = time.perf_counter()
+        budget = request.deadline_seconds \
+            if request.deadline_seconds is not None \
+            else self.config.default_deadline_seconds
+
+        async def watchdog(awaitable):
+            """Award the stage only its remaining share of the deadline.
+
+            On overrun the wrapped future is cancelled — queued pool work
+            is truly cancelled, already-running work is abandoned (its
+            result discarded) — so an overdue request frees its admission
+            slot instead of wedging the pipeline.
+            """
+            if budget is None:
+                return await awaitable
+            remaining = budget - (time.perf_counter() - received)
+            if remaining <= 0.0:
+                raise _DeadlineExceeded(budget,
+                                        time.perf_counter() - received)
+            try:
+                return await asyncio.wait_for(awaitable, timeout=remaining)
+            except asyncio.TimeoutError:
+                raise _DeadlineExceeded(
+                    budget, time.perf_counter() - received) from None
+
         session = self.session(request.tenant, request.engine)
         # Workload resolution (dataset generation can be slow the first
         # time) happens off-loop, on the compile pool.
-        algo, meta, data, program = await loop.run_in_executor(
-            self._compile_pool, self._workload, request)
+        algo, meta, data, program = await watchdog(loop.run_in_executor(
+            self._compile_pool, self._workload, request))
         queued = time.perf_counter()
 
         # Decoupled stages: the warm probe runs right here on the loop —
@@ -197,9 +343,9 @@ class OptimizerService:
         compiled = session.cached_plan(program, meta, data,
                                        iterations=request.iterations)
         if compiled is None:
-            compiled = await loop.run_in_executor(
+            compiled = await watchdog(loop.run_in_executor(
                 self._compile_pool, lambda: session.compile(
-                    program, meta, data, iterations=request.iterations))
+                    program, meta, data, iterations=request.iterations)))
         compiled_at = time.perf_counter()
         outcome = compiled.notes.get("plan_cache", "off")
 
@@ -216,10 +362,10 @@ class OptimizerService:
             }
 
         outputs = request.outputs or algo.outputs
-        packaged = await loop.run_in_executor(
+        packaged = await watchdog(loop.run_in_executor(
             self._execute_pool, lambda: self._execute_and_package(
                 session, algo, compiled, data, outputs,
-                request.return_values))
+                request.return_values)))
         finished = time.perf_counter()
         packaged.update({
             "id": request.id, "status": "ok", "op": "run",
@@ -254,6 +400,45 @@ class OptimizerService:
         }
 
     # ------------------------------------------------------------------
+    # Drain lifecycle
+    # ------------------------------------------------------------------
+    def begin_drain(self) -> None:
+        """Stop admitting; in-flight requests keep running (event loop)."""
+        if not self.draining:
+            self.draining = True
+            self._drain_completed_base = self.counters["completed"]
+
+    def finish_drain(self, shed: int) -> dict:
+        """Record the drain outcome: what finished, what was abandoned."""
+        completed = self.counters["completed"] \
+            - getattr(self, "_drain_completed_base",
+                      self.counters["completed"])
+        self.counters["shed"] += shed
+        self.drain_report = {"completed_during_drain": completed,
+                             "shed": shed,
+                             "deadline_hit": shed > 0}
+        return self.drain_report
+
+    def health(self) -> dict:
+        """Liveness snapshot: queue depth, bucket state, resident workloads."""
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "draining": self.draining,
+            "ready": not self.draining
+            and self._admitted < self.config.max_queue,
+            "in_flight": self._admitted,
+            "capacity_remaining": max(0,
+                                      self.config.max_queue - self._admitted),
+            "tenants_in_flight": dict(self._tenant_inflight),
+            "rate_buckets": {tenant: round(bucket.tokens, 3)
+                             for tenant, bucket
+                             in self._rate_buckets.items()},
+            "resident_workloads": len(self._workloads),
+            "deadline_exceeded": self.counters["deadline_exceeded"],
+            "rejected_rate": self.counters["rejected_rate"],
+        }
+
+    # ------------------------------------------------------------------
     # Introspection & lifecycle
     # ------------------------------------------------------------------
     def stats(self) -> dict:
@@ -269,6 +454,8 @@ class OptimizerService:
         return {
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "in_flight": self._admitted,
+            "draining": self.draining,
+            "drain": self.drain_report,
             "tenants_in_flight": dict(self._tenant_inflight),
             "counters": dict(self.counters),
             "plan_cache": self.plan_cache.stats_dict(),
@@ -279,8 +466,14 @@ class OptimizerService:
             "config": {
                 "max_queue": self.config.max_queue,
                 "tenant_quota": self.config.tenant_quota,
+                "tenant_rate": self.config.tenant_rate,
+                "tenant_burst": self.config.tenant_burst,
                 "compile_workers": self.config.compile_workers,
                 "execute_workers": self.config.execute_workers,
+                "default_deadline_seconds":
+                    self.config.default_deadline_seconds,
+                "drain_deadline_seconds":
+                    self.config.drain_deadline_seconds,
             },
         }
 

@@ -187,7 +187,9 @@ class TestAdmissionControl:
             assert "rejected" in statuses  # quota bit at least once
             rejected = [r for r in responses if r["status"] == "rejected"]
             assert all(r["error"] == "quota_exceeded" for r in rejected)
-            assert all(r["retry_after"] == config.retry_after_seconds
+            # retry_after is computed from observed queue state, floored
+            # at the configured constant.
+            assert all(r["retry_after"] >= config.retry_after_seconds
                        for r in rejected)
             # The quota frees once requests drain: a sequential retry runs.
             with ServerClient(handle.host, handle.port) as connection:
